@@ -1,0 +1,541 @@
+// Command upsim is the command-line front end of the UPSIM library: it
+// loads UML model files and Figure-3 mapping files, inspects topologies,
+// discovers requester→provider paths, generates user-perceived service
+// infrastructure models and runs availability analysis.
+//
+// Usage:
+//
+//	upsim casestudy  -model usi.xml -mapping table1.xml
+//	upsim inventory  -model usi.xml -diagram infrastructure
+//	upsim paths      -model usi.xml -diagram infrastructure -from t1 -to printS
+//	upsim generate   -model usi.xml -diagram infrastructure -service printing \
+//	                 -mapping table1.xml -name upsim-t1-p2 [-dot out.dot] [-out model2.xml]
+//	upsim avail      -model usi.xml -diagram infrastructure -service printing \
+//	                 -mapping table1.xml [-formula1] [-mc 200000]
+//	upsim dot        -model usi.xml -diagram infrastructure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upsim"
+	"upsim/internal/topology"
+	"upsim/internal/uml"
+	"upsim/internal/vtcl"
+	"upsim/internal/workspace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "upsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "casestudy":
+		return cmdCaseStudy(args[1:])
+	case "inventory":
+		return cmdInventory(args[1:])
+	case "paths":
+		return cmdPaths(args[1:])
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "avail":
+		return cmdAvail(args[1:])
+	case "dot":
+		return cmdDot(args[1:])
+	case "query":
+		return cmdQuery(args[1:])
+	case "rbd":
+		return cmdRBD(args[1:])
+	case "project":
+		return cmdProject(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: upsim <command> [flags]
+
+commands:
+  casestudy   write the built-in USI case-study model and Table I mapping
+  inventory   summarise a model file (classes, diagrams, services)
+  paths       enumerate all simple paths between two components
+  generate    generate a UPSIM for a service, mapping and perspective
+  avail       user-perceived availability analysis for a service mapping
+  dot         render an object diagram as Graphviz DOT
+  query       run a VTCL-style pattern against the imported model space
+  rbd         generate and render the reliability block diagram of a UPSIM
+  project     init or inspect a workspace directory (model + mappings + patterns)
+
+run 'upsim <command> -h' for per-command flags`)
+}
+
+func loadModel(path string) (*upsim.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return upsim.ReadModel(f)
+}
+
+func loadMapping(path string) (*upsim.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return upsim.ReadMapping(f)
+}
+
+func cmdCaseStudy(args []string) error {
+	fs := flag.NewFlagSet("casestudy", flag.ContinueOnError)
+	modelOut := fs.String("model", "usi.xml", "output path for the USI model")
+	mappingOut := fs.String("mapping", "table1.xml", "output path for the Table I mapping")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := upsim.USIModel()
+	if err != nil {
+		return err
+	}
+	if _, err := upsim.USIPrintingService(m); err != nil {
+		return err
+	}
+	if _, err := upsim.USIBackupService(m); err != nil {
+		return err
+	}
+	mf, err := os.Create(*modelOut)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	if err := upsim.WriteModel(mf, m); err != nil {
+		return err
+	}
+	pf, err := os.Create(*mappingOut)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := upsim.WriteMapping(pf, upsim.USITableIMapping()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (model with services %q, %q) and %s (Table I mapping)\n",
+		*modelOut, "printing", "backup", *mappingOut)
+	return nil
+}
+
+func cmdInventory(args []string) error {
+	fs := flag.NewFlagSet("inventory", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("inventory: -model is required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %q\n", m.Name())
+	fmt.Printf("profiles: %d\n", len(m.Profiles()))
+	for _, p := range m.Profiles() {
+		fmt.Printf("  %s (%d stereotypes)\n", p.Name(), len(p.Stereotypes()))
+	}
+	fmt.Printf("classes: %d\n", len(m.Classes()))
+	for _, c := range m.Classes() {
+		mtbf, _ := c.Property("MTBF")
+		mttr, _ := c.Property("MTTR")
+		fmt.Printf("  %-30s MTBF=%-10s MTTR=%s\n", c.String(), mtbf.String(), mttr.String())
+	}
+	fmt.Printf("associations: %d\n", len(m.Associations()))
+	fmt.Printf("object diagrams: %d\n", len(m.Diagrams()))
+	for _, d := range m.Diagrams() {
+		fmt.Printf("  %-30s %d instances, %d links\n", d.Name(), d.NumInstances(), d.NumLinks())
+	}
+	fmt.Printf("activities: %d\n", len(m.Activities()))
+	for _, a := range m.Activities() {
+		fmt.Printf("  %-30s actions: %v\n", a.Name(), a.ActionNames())
+	}
+	return nil
+}
+
+func cmdPaths(args []string) error {
+	fs := flag.NewFlagSet("paths", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "object diagram name")
+	from := fs.String("from", "", "requester component")
+	to := fs.String("to", "", "provider component")
+	maxDepth := fs.Int("maxdepth", 0, "bound path length in hops (0 = unbounded)")
+	maxPaths := fs.Int("maxpaths", 0, "stop after N paths (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *diagram == "" || *from == "" || *to == "" {
+		return fmt.Errorf("paths: -model, -diagram, -from and -to are required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, *diagram)
+	if err != nil {
+		return err
+	}
+	g := gen.Graph()
+	paths, stats, err := upsim.AllPaths(g, *from, *to,
+		upsim.PathOptions{MaxDepth: *maxDepth, MaxPaths: *maxPaths})
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	fmt.Printf("# %d paths, %d edge visits, max stack %d\n", stats.Paths, stats.EdgeVisits, stats.MaxStack)
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name")
+	svcName := fs.String("service", "", "activity name of the composite service")
+	mappingPath := fs.String("mapping", "", "service mapping XML file")
+	name := fs.String("name", "upsim", "name of the generated UPSIM diagram")
+	dotOut := fs.String("dot", "", "optional DOT output path for the UPSIM")
+	modelOut := fs.String("out", "", "optional path to write the model including the UPSIM diagram")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *diagram == "" || *svcName == "" || *mappingPath == "" {
+		return fmt.Errorf("generate: -model, -diagram, -service and -mapping are required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	act, ok := m.Activity(*svcName)
+	if !ok {
+		return fmt.Errorf("generate: model has no activity %q", *svcName)
+	}
+	svc, err := upsim.ServiceFromActivity(act)
+	if err != nil {
+		return err
+	}
+	mp, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, *diagram)
+	if err != nil {
+		return err
+	}
+	res, err := gen.Generate(svc, mp, *name, upsim.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("UPSIM %q: %d components, %d links, %d paths\n",
+		*name, res.Graph.NumNodes(), res.Graph.NumEdges(), res.TotalPaths)
+	for _, inst := range res.UPSIM.Instances() {
+		fmt.Println("  ", inst.Signature())
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(upsim.ToDOT(res.Graph, *name)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *dotOut)
+	}
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := upsim.WriteModel(f, m); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *modelOut)
+	}
+	return nil
+}
+
+func cmdAvail(args []string) error {
+	fs := flag.NewFlagSet("avail", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name")
+	svcName := fs.String("service", "", "activity name of the composite service")
+	mappingPath := fs.String("mapping", "", "service mapping XML file")
+	formula1 := fs.Bool("formula1", false, "use the paper's Formula 1 instead of the exact component availability")
+	mcSamples := fs.Int("mc", 200000, "Monte-Carlo sample count")
+	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *diagram == "" || *svcName == "" || *mappingPath == "" {
+		return fmt.Errorf("avail: -model, -diagram, -service and -mapping are required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	act, ok := m.Activity(*svcName)
+	if !ok {
+		return fmt.Errorf("avail: model has no activity %q", *svcName)
+	}
+	svc, err := upsim.ServiceFromActivity(act)
+	if err != nil {
+		return err
+	}
+	mp, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, *diagram)
+	if err != nil {
+		return err
+	}
+	res, err := gen.Generate(svc, mp, "avail-analysis", upsim.Options{})
+	if err != nil {
+		return err
+	}
+	model := upsim.ModelExact
+	if *formula1 {
+		model = upsim.ModelFormula1
+	}
+	rep, err := upsim.Analyze(res, model, *mcSamples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("service %q, %d UPSIM components (%s component model)\n",
+		*svcName, rep.Components, model)
+	fmt.Printf("exact:        %.10f\n", rep.Exact)
+	fmt.Printf("naive RBD:    %.10f\n", rep.RBDApprox)
+	fmt.Printf("fault tree:   %.10f\n", rep.FTApprox)
+	fmt.Printf("Monte Carlo:  %.6f ± %.6f (%d samples)\n", rep.MonteCarlo, rep.MCStdErr, *mcSamples)
+	fmt.Printf("downtime:     %.1f hours/year\n", rep.DowntimePerYearHours)
+	return nil
+}
+
+func cmdProject(args []string) error {
+	fs := flag.NewFlagSet("project", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "workspace directory")
+	doInit := fs.Bool("init", false, "initialise the directory with the built-in case study")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *doInit {
+		m, err := upsim.USIModel()
+		if err != nil {
+			return err
+		}
+		if _, err := upsim.USIPrintingService(m); err != nil {
+			return err
+		}
+		if _, err := upsim.USIBackupService(m); err != nil {
+			return err
+		}
+		w, err := workspace.Init(*dir, m)
+		if err != nil {
+			return err
+		}
+		if err := w.SaveMapping("t1-p2", upsim.USITableIMapping()); err != nil {
+			return err
+		}
+		if err := w.SaveMapping("t15-p3", upsim.USIT15P3Mapping()); err != nil {
+			return err
+		}
+		if err := w.SaveMapping("backup-t7", upsim.USIBackupMapping()); err != nil {
+			return err
+		}
+		fmt.Println("initialised", w.Summary())
+		return nil
+	}
+	w, err := workspace.Load(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println(w.Summary())
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "object diagram name (anchors the import)")
+	patternPath := fs.String("patterns", "", "VTCL pattern file")
+	name := fs.String("name", "", "pattern to run (default: first in the file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *diagram == "" || *patternPath == "" {
+		return fmt.Errorf("query: -model, -diagram and -patterns are required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, *diagram)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*patternPath)
+	if err != nil {
+		return err
+	}
+	pats, err := vtcl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	pat := pats[0]
+	if *name != "" {
+		pat = nil
+		for _, p := range pats {
+			if p.Name == *name {
+				pat = p
+				break
+			}
+		}
+		if pat == nil {
+			return fmt.Errorf("query: pattern %q not in %s", *name, *patternPath)
+		}
+	}
+	matches, err := pat.Match(gen.Space(), nil)
+	if err != nil {
+		return err
+	}
+	for _, b := range matches {
+		for i, v := range pat.Vars {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%s=%s", v, b[v].FQN())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("# pattern %q: %d matches\n", pat.Name, len(matches))
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "object diagram name (kind=object)")
+	kind := fs.String("kind", "object", "diagram kind: object, classes or activity")
+	activity := fs.String("activity", "", "activity name (kind=activity)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("dot: -model is required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "object":
+		if *diagram == "" {
+			return fmt.Errorf("dot: -diagram is required for kind=object")
+		}
+		d, ok := m.Diagram(*diagram)
+		if !ok {
+			return fmt.Errorf("dot: model has no object diagram %q", *diagram)
+		}
+		fmt.Print(upsim.ToDOT(topology.FromObjectDiagram(d), *diagram))
+	case "classes":
+		fmt.Print(uml.ClassDiagramDOT(m))
+	case "activity":
+		if *activity == "" {
+			return fmt.Errorf("dot: -activity is required for kind=activity")
+		}
+		act, ok := m.Activity(*activity)
+		if !ok {
+			return fmt.Errorf("dot: model has no activity %q", *activity)
+		}
+		fmt.Print(uml.ActivityDOT(act))
+	default:
+		return fmt.Errorf("dot: unknown kind %q (want object, classes or activity)", *kind)
+	}
+	return nil
+}
+
+func cmdRBD(args []string) error {
+	fs := flag.NewFlagSet("rbd", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name")
+	svcName := fs.String("service", "", "activity name of the composite service")
+	mappingPath := fs.String("mapping", "", "service mapping XML file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *diagram == "" || *svcName == "" || *mappingPath == "" {
+		return fmt.Errorf("rbd: -model, -diagram, -service and -mapping are required")
+	}
+	m, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	act, ok := m.Activity(*svcName)
+	if !ok {
+		return fmt.Errorf("rbd: model has no activity %q", *svcName)
+	}
+	svc, err := upsim.ServiceFromActivity(act)
+	if err != nil {
+		return err
+	}
+	mp, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, *diagram)
+	if err != nil {
+		return err
+	}
+	res, err := gen.Generate(svc, mp, "rbd", upsim.Options{})
+	if err != nil {
+		return err
+	}
+	avail := map[string]float64{}
+	for _, inst := range res.Source.Instances() {
+		mtbf, ok := inst.Property("MTBF")
+		if !ok {
+			return fmt.Errorf("rbd: component %q has no MTBF (availability profile missing)", inst.Name())
+		}
+		mttr, ok := inst.Property("MTTR")
+		if !ok {
+			return fmt.Errorf("rbd: component %q has no MTTR", inst.Name())
+		}
+		a, err := upsim.Availability(mtbf.AsReal(), mttr.AsReal())
+		if err != nil {
+			return err
+		}
+		avail[inst.Name()] = a
+	}
+	root, block, err := upsim.GenerateRBD(gen, "rbd", avail)
+	if err != nil {
+		return err
+	}
+	fmt.Print(upsim.RenderRBD(root))
+	a, err := block.Availability()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# device-only RBD availability (independence assumption): %.10f\n", a)
+	fmt.Println("# use 'upsim avail' for the exact analysis including connectors")
+	return nil
+}

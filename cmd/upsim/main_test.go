@@ -1,0 +1,253 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// withArtifacts writes the built-in case-study artifacts into a temp dir and
+// returns their paths.
+func withArtifacts(t *testing.T) (modelPath, mappingPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	modelPath = filepath.Join(dir, "usi.xml")
+	mappingPath = filepath.Join(dir, "t1.xml")
+	if err := run([]string{"casestudy", "-model", modelPath, "-mapping", mappingPath}); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, mappingPath
+}
+
+// capture redirects stdout while fn runs and returns what was printed. A
+// background reader drains the pipe so large outputs cannot deadlock the
+// writer.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestCLICaseStudyAndInventory(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	if _, err := os.Stat(mappingPath); err != nil {
+		t.Fatalf("mapping not written: %v", err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"inventory", "-model", modelPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`model "usi"`, "classes: 7", "printing", "backup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inventory missing %q", want)
+		}
+	}
+}
+
+func TestCLIPaths(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	out, err := capture(t, func() error {
+		return run([]string{"paths", "-model", modelPath, "-diagram", "infrastructure",
+			"-from", "t1", "-to", "printS"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t1—e1—d1—c1—d4—printS") || !strings.Contains(out, "# 2 paths") {
+		t.Errorf("paths output:\n%s", out)
+	}
+}
+
+func TestCLIGenerateAndAvail(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+	dir := t.TempDir()
+	dotOut := filepath.Join(dir, "u.dot")
+	modelOut := filepath.Join(dir, "out.xml")
+	out, err := capture(t, func() error {
+		return run([]string{"generate", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-name", "fig11",
+			"-dot", dotOut, "-out", modelOut})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10 components") {
+		t.Errorf("generate output:\n%s", out)
+	}
+	if _, err := os.Stat(dotOut); err != nil {
+		t.Error("DOT not written")
+	}
+	if _, err := os.Stat(modelOut); err != nil {
+		t.Error("model not written")
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"avail", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-mc", "5000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact:") || !strings.Contains(out, "downtime:") {
+		t.Errorf("avail output:\n%s", out)
+	}
+}
+
+func TestCLIDotKinds(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"dot", "-model", modelPath, "-diagram", "infrastructure"}, `graph "infrastructure"`},
+		{[]string{"dot", "-model", modelPath, "-kind", "classes"}, "shape=record"},
+		{[]string{"dot", "-model", modelPath, "-kind", "activity", "-activity", "printing"}, `digraph "printing"`},
+	}
+	for _, c := range cases {
+		out, err := capture(t, func() error { return run(c.args) })
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%v missing %q", c.args, c.want)
+		}
+	}
+}
+
+func TestCLIQueryAndRBD(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+	patterns := filepath.Join(t.TempDir(), "q.vtcl")
+	src := `pattern printers(P, C) = {
+		instanceOf(P, "metamodel.uml.InstanceSpecification");
+		directed(P, "classifier", C);
+		name(C, "Printer");
+	}`
+	if err := os.WriteFile(patterns, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-model", modelPath, "-diagram", "infrastructure",
+			"-patterns", patterns})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 matches") {
+		t.Errorf("query output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"rbd", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[parallel]") || !strings.Contains(out, "RBD availability") {
+		t.Errorf("rbd output:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"inventory"},
+		{"paths", "-model", modelPath},
+		{"paths", "-model", modelPath, "-diagram", "infrastructure", "-from", "ghost", "-to", "printS"},
+		{"generate", "-model", modelPath},
+		{"generate", "-model", modelPath, "-diagram", "infrastructure", "-service", "ghost", "-mapping", mappingPath},
+		{"avail", "-model", modelPath},
+		{"dot"},
+		{"dot", "-model", modelPath, "-kind", "nonsense"},
+		{"dot", "-model", modelPath, "-kind", "activity"},
+		{"dot", "-model", modelPath, "-kind", "object", "-diagram", "ghost"},
+		{"query", "-model", modelPath},
+		{"query", "-model", modelPath, "-diagram", "infrastructure", "-patterns", "/nonexistent.vtcl"},
+		{"rbd", "-model", modelPath},
+		{"inventory", "-model", "/nonexistent.xml"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+	// Help succeeds.
+	if _, err := capture(t, func() error { return run([]string{"help"}) }); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestCLIQueryNamedPattern(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	patterns := filepath.Join(t.TempDir(), "multi.vtcl")
+	src := `pattern first(A) = { name(A, "t1"); below(A, "models.usi.diagrams.infrastructure"); }
+pattern second(B) = { name(B, "p2"); below(B, "models.usi.diagrams.infrastructure"); }`
+	if err := os.WriteFile(patterns, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-model", modelPath, "-diagram", "infrastructure",
+			"-patterns", patterns, "-name", "second"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "p2") || !strings.Contains(out, `pattern "second"`) {
+		t.Errorf("named query output:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"query", "-model", modelPath, "-diagram", "infrastructure",
+			"-patterns", patterns, "-name", "ghost"})
+	}); err == nil {
+		t.Error("unknown pattern name should fail")
+	}
+}
+
+func TestCLIProject(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"project", "-dir", dir, "-init"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "initialised") || !strings.Contains(out, "t1-p2") {
+		t.Errorf("project init output:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"project", "-dir", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `model "usi"`) || !strings.Contains(out, "backup-t7") {
+		t.Errorf("project info output:\n%s", out)
+	}
+	// Double init fails; loading a non-workspace fails.
+	if _, err := capture(t, func() error { return run([]string{"project", "-dir", dir, "-init"}) }); err == nil {
+		t.Error("double init should fail")
+	}
+	if _, err := capture(t, func() error { return run([]string{"project", "-dir", t.TempDir()}) }); err == nil {
+		t.Error("empty dir should fail")
+	}
+}

@@ -1,0 +1,39 @@
+// Command upsimd serves the UPSIM generation and analysis pipeline over
+// HTTP (see internal/server for the API).
+//
+// Usage:
+//
+//	upsimd [-addr :8080]
+//
+// Try it:
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/api/v1/casestudy/model > usi.xml
+//	curl localhost:8080/api/v1/casestudy/mapping > t1.xml
+//	curl -s -X POST localhost:8080/api/v1/generate -d "$(jq -n \
+//	    --rawfile m usi.xml --rawfile p t1.xml \
+//	    '{modelXml:$m, diagram:"infrastructure", service:"printing", mappingXml:$p}')"
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"upsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("upsimd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,56 @@
+package upsim_test
+
+import (
+	"fmt"
+
+	"upsim"
+)
+
+// ExampleGenerator_Generate reproduces the paper's Figure 11: the UPSIM of
+// the printing service for client t1 and printer p2.
+func ExampleGenerator_Generate() {
+	m, _ := upsim.USIModel()
+	svc, _ := upsim.USIPrintingService(m)
+	gen, _ := upsim.NewGenerator(m, upsim.USIDiagramName)
+	res, _ := gen.Generate(svc, upsim.USITableIMapping(), "t1-to-p2", upsim.Options{})
+	fmt.Println(res.NodeNames())
+	// Output:
+	// [c1 c2 d1 d2 d4 e1 e3 p2 printS t1]
+}
+
+// ExampleAllPaths reproduces the Section VI-G path listing for the first
+// Table I pair.
+func ExampleAllPaths() {
+	m, _ := upsim.USIModel()
+	gen, _ := upsim.NewGenerator(m, upsim.USIDiagramName)
+	paths, _, _ := upsim.AllPaths(gen.Graph(), "t1", "printS", upsim.PathOptions{})
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	// Output:
+	// t1—e1—d1—c1—c2—d4—printS
+	// t1—e1—d1—c1—d4—printS
+}
+
+// ExampleMapping_Remap shows the dynamicity lever of Section V-A3: deriving
+// the Figure 12 perspective is two component substitutions on a mapping
+// clone — no model or service change.
+func ExampleMapping_Remap() {
+	base := upsim.USITableIMapping()
+	moved := base.Clone()
+	moved.RemapComponent("t1", "t15")
+	moved.RemapComponent("p2", "p3")
+	p, _ := moved.Pair("Request printing")
+	fmt.Println(p)
+	// Output:
+	// Request printing: t15 -> printS
+}
+
+// ExampleAvailabilityFormula1 evaluates the paper's Formula 1 for the Comp
+// client class of Figure 8.
+func ExampleAvailabilityFormula1() {
+	a, _ := upsim.AvailabilityFormula1(3000, 24)
+	fmt.Printf("%.3f\n", a)
+	// Output:
+	// 0.992
+}

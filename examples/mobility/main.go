@@ -1,0 +1,89 @@
+// Mobility demonstrates the dynamicity argument of Section V-A3: when a
+// user moves between clients of the network, only the service mapping
+// changes — the service description and the infrastructure model stay
+// untouched — and the UPSIM is regenerated in milliseconds for each new
+// position. The example walks the printing user through every client of the
+// USI campus and reports how the perceived infrastructure and availability
+// change with position.
+//
+// Run with:
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"upsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	m, err := upsim.USIModel()
+	if err != nil {
+		return err
+	}
+	svc, err := upsim.USIPrintingService(m)
+	if err != nil {
+		return err
+	}
+	gen, err := upsim.NewGenerator(m, upsim.USIDiagramName)
+	if err != nil {
+		return err
+	}
+
+	// The user always prints on p2 through printS; only their client
+	// changes. Deriving each perspective is a single RemapComponent call on
+	// a clone of the base mapping.
+	base := upsim.USITableIMapping()
+	clients := []string{"t1", "t2", "t3", "t6", "t7", "t8", "t10", "t11", "t12", "t13", "t14", "t15"}
+
+	type row struct {
+		client string
+		nodes  int
+		paths  int
+		avail  float64
+	}
+	var rows []row
+	for _, client := range clients {
+		mp := base.Clone()
+		if client != "t1" {
+			if _, err := mp.RemapComponent("t1", client); err != nil {
+				return err
+			}
+		}
+		res, err := gen.Generate(svc, mp, "upsim-"+client, upsim.Options{})
+		if err != nil {
+			return err
+		}
+		rep, err := upsim.Analyze(res, upsim.ModelExact, 0+1, 1) // exact only; 1 MC sample
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{
+			client: client,
+			nodes:  res.Graph.NumNodes(),
+			paths:  res.TotalPaths,
+			avail:  rep.Exact,
+		})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].avail > rows[j].avail })
+	fmt.Println("printing service (printer p2, server printS), perceived per client position:")
+	fmt.Printf("%-8s %6s %6s %12s\n", "client", "nodes", "paths", "availability")
+	for _, r := range rows {
+		fmt.Printf("%-8s %6d %6d %12.8f\n", r.client, r.nodes, r.paths, r.avail)
+	}
+	fmt.Println("\nNote: clients on the printer's own edge switch (t10–t12 on e3) or")
+	fmt.Println("distribution branch traverse fewer components and perceive a slightly")
+	fmt.Println("higher availability than clients behind the other core.")
+	return nil
+}

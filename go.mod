@@ -1,0 +1,3 @@
+module upsim
+
+go 1.22

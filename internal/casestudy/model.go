@@ -1,0 +1,270 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"upsim/internal/uml"
+)
+
+// ClassSpec describes one component class of Figure 8.
+type ClassSpec struct {
+	Name         string
+	Network      string // network-profile stereotype: Switch, Client, Server, Printer
+	MTBF         float64
+	MTTR         float64
+	Redundant    int64
+	Manufacturer string
+	Model        string
+	Processor    string // only for Computer specialisations
+}
+
+// Classes returns the component classes of Figure 8 with their availability
+// attributes (hours). See the package comment for the MTBF assignment
+// rationale where the figure is ambiguous.
+func Classes() []ClassSpec {
+	return []ClassSpec{
+		{Name: "Server", Network: "Server", MTBF: 60000, MTTR: 0.1,
+			Manufacturer: "Dell", Model: "PowerEdge", Processor: "Xeon"},
+		{Name: "C6500", Network: "Switch", MTBF: 61320, MTTR: 0.5,
+			Manufacturer: "Cisco", Model: "Catalyst 6500"},
+		{Name: "C3750", Network: "Switch", MTBF: 188575, MTTR: 0.5,
+			Manufacturer: "Cisco", Model: "Catalyst 3750"},
+		{Name: "C2960", Network: "Switch", MTBF: 183498, MTTR: 0.5,
+			Manufacturer: "Cisco", Model: "Catalyst 2960"},
+		{Name: "HP2650", Network: "Switch", MTBF: 199000, MTTR: 0.5,
+			Manufacturer: "HP", Model: "ProCurve 2650"},
+		{Name: "Comp", Network: "Client", MTBF: 3000, MTTR: 24.0,
+			Manufacturer: "Dell", Model: "OptiPlex", Processor: "Core 2 Duo"},
+		{Name: "Printer", Network: "Printer", MTBF: 2880, MTTR: 1.0,
+			Manufacturer: "HP", Model: "LaserJet"},
+	}
+}
+
+// Connector attribute values (illegible in the source figure; documented
+// reconstruction).
+const (
+	LinkMTBF    = 1e6
+	LinkMTTR    = 0.1
+	LinkChannel = "ethernet"
+	// LinkThroughput is the default access-layer throughput in Mbit/s; see
+	// linkThroughput for the per-tier values.
+	LinkThroughput = 100
+)
+
+// linkThroughput assigns the Communication.throughput attribute per
+// association, following the era's hardware tiers: 10/100 access ports on
+// the HP ProCurve 2650 (clients, printers), gigabit uplinks and server
+// ports, 10G between the Catalyst 6500 cores.
+func linkThroughput(assocName string) float64 {
+	switch assocName {
+	case "C6500-C6500":
+		return 10000
+	case "C3750-C6500", "C2960-C6500", "HP2650-C3750", "Server-C2960":
+		return 1000
+	default: // client and printer access ports
+		return LinkThroughput
+	}
+}
+
+// linkSpec is one deployed link of the infrastructure (Figure 9).
+type linkSpec struct{ a, b string }
+
+// instanceSpec is one deployed node of the infrastructure.
+type instanceSpec struct{ name, class string }
+
+// instances returns the node inventory of Figures 5/9.
+func instances() []instanceSpec {
+	out := []instanceSpec{
+		{"c1", "C6500"}, {"c2", "C6500"},
+		{"d1", "C3750"}, {"d2", "C3750"},
+		{"d3", "C2960"}, {"d4", "C2960"},
+		{"e1", "HP2650"}, {"e2", "HP2650"}, {"e3", "HP2650"}, {"e4", "HP2650"},
+		{"p1", "Printer"}, {"p2", "Printer"}, {"p3", "Printer"},
+		{"db", "Server"}, {"backup", "Server"}, {"email", "Server"},
+		{"file1", "Server"}, {"file2", "Server"}, {"printS", "Server"},
+	}
+	for _, t := range clientNames() {
+		out = append(out, instanceSpec{t, "Comp"})
+	}
+	return out
+}
+
+// clientNames returns the client inventory; t4, t5 and t9 do not appear in
+// the paper's figures and the numbering gap is preserved.
+func clientNames() []string {
+	return []string{"t1", "t2", "t3", "t6", "t7", "t8", "t10", "t11", "t12", "t13", "t14", "t15"}
+}
+
+// links returns the deployed links of Figure 9 under the reconstruction
+// documented in the package comment. The core interconnect c1—c2 is doubled
+// ("central switches with redundant connections").
+func links() []linkSpec {
+	out := []linkSpec{
+		// Core interconnect.
+		{"c1", "c2"},
+		// Distribution switches, single-homed (the published path list for
+		// t1→printS is exactly two paths, which excludes any transit route
+		// through a second distribution uplink).
+		{"d1", "c1"},
+		{"d2", "c2"},
+		{"d3", "c2"},
+		// The print-server switch d4 is dual-homed — the core redundancy
+		// the published paths exhibit (…—c1—d4—printS and …—c1—c2—d4—printS).
+		{"d4", "c1"}, {"d4", "c2"},
+		// Edge switches.
+		{"e1", "d1"}, {"e2", "d1"},
+		{"e3", "d2"}, {"e4", "d2"},
+		// Clients.
+		{"t1", "e1"}, {"t2", "e1"}, {"t3", "e1"},
+		{"t6", "e2"}, {"t7", "e2"}, {"t8", "e2"},
+		{"t10", "e3"}, {"t11", "e3"}, {"t12", "e3"},
+		{"t13", "e4"}, {"t14", "e4"}, {"t15", "e4"},
+		// Printers.
+		{"p1", "e2"}, {"p2", "e3"}, {"p3", "e4"},
+		// Servers.
+		{"db", "d3"}, {"backup", "d3"}, {"email", "d3"},
+		{"file1", "d4"}, {"file2", "d4"}, {"printS", "d4"},
+	}
+	return out
+}
+
+// BuildModel constructs the complete USI case-study model: both profiles,
+// the Figure 8 classes, the associations between connectable device types
+// and the infrastructure object diagram of Figure 9. The model validates
+// cleanly (every stereotype attribute carries a value).
+func BuildModel() (*uml.Model, error) {
+	m := uml.NewModel(ModelName)
+	ap, err := AvailabilityProfile()
+	if err != nil {
+		return nil, err
+	}
+	np, err := NetworkProfile()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.AddProfile(ap); err != nil {
+		return nil, err
+	}
+	if err := m.AddProfile(np); err != nil {
+		return nil, err
+	}
+
+	device, err := mustStereotype(m, "Device")
+	if err != nil {
+		return nil, err
+	}
+	connector, err := mustStereotype(m, "Connector")
+	if err != nil {
+		return nil, err
+	}
+	communication, err := mustStereotype(m, "Communication")
+	if err != nil {
+		return nil, err
+	}
+
+	// Figure 8: classes with availability and network stereotypes applied.
+	for _, spec := range Classes() {
+		c, err := m.AddClass(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		app, err := c.Apply(device)
+		if err != nil {
+			return nil, err
+		}
+		if err := app.Set("MTBF", uml.RealValue(spec.MTBF)); err != nil {
+			return nil, err
+		}
+		if err := app.Set("MTTR", uml.RealValue(spec.MTTR)); err != nil {
+			return nil, err
+		}
+		if err := app.Set("redundantComponents", uml.IntegerValue(spec.Redundant)); err != nil {
+			return nil, err
+		}
+		netSt, err := mustStereotype(m, spec.Network)
+		if err != nil {
+			return nil, err
+		}
+		napp, err := c.Apply(netSt)
+		if err != nil {
+			return nil, err
+		}
+		if err := napp.Set("manufacturer", uml.StringValue(spec.Manufacturer)); err != nil {
+			return nil, err
+		}
+		if err := napp.Set("model", uml.StringValue(spec.Model)); err != nil {
+			return nil, err
+		}
+		if netSt.IsKindOf("Computer") {
+			if err := napp.Set("processor", uml.StringValue(spec.Processor)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Associations: one stereotyped association per connectable class pair
+	// occurring in the topology.
+	type assocSpec struct{ name, a, b string }
+	assocs := []assocSpec{
+		{"C6500-C6500", "C6500", "C6500"},
+		{"C3750-C6500", "C3750", "C6500"},
+		{"C2960-C6500", "C2960", "C6500"},
+		{"HP2650-C3750", "HP2650", "C3750"},
+		{"Comp-HP2650", "Comp", "HP2650"},
+		{"Printer-HP2650", "Printer", "HP2650"},
+		{"Server-C2960", "Server", "C2960"},
+	}
+	for _, as := range assocs {
+		a, err := m.AddAssociation(as.name, m.MustClass(as.a), m.MustClass(as.b))
+		if err != nil {
+			return nil, err
+		}
+		capp, err := a.Apply(connector)
+		if err != nil {
+			return nil, err
+		}
+		if err := capp.Set("MTBF", uml.RealValue(LinkMTBF)); err != nil {
+			return nil, err
+		}
+		if err := capp.Set("MTTR", uml.RealValue(LinkMTTR)); err != nil {
+			return nil, err
+		}
+		if err := capp.Set("redundantComponents", uml.IntegerValue(0)); err != nil {
+			return nil, err
+		}
+		mapp, err := a.Apply(communication)
+		if err != nil {
+			return nil, err
+		}
+		if err := mapp.Set("channel", uml.StringValue(LinkChannel)); err != nil {
+			return nil, err
+		}
+		if err := mapp.Set("throughput", uml.RealValue(linkThroughput(as.name))); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 9: the infrastructure object diagram.
+	d := m.NewObjectDiagram(DiagramName)
+	for _, spec := range instances() {
+		if _, err := d.AddInstance(spec.name, m.MustClass(spec.class)); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range links() {
+		ia, _ := d.Instance(l.a)
+		ib, _ := d.Instance(l.b)
+		assoc, ok := m.AssociationBetween(ia.Classifier(), ib.Classifier())
+		if !ok {
+			return nil, fmt.Errorf("casestudy: no association for link %s--%s (%s--%s)",
+				l.a, l.b, ia.Classifier().Name(), ib.Classifier().Name())
+		}
+		if _, err := d.Connect(ia, ib, assoc); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,104 @@
+package casestudy
+
+import (
+	"upsim/internal/mapping"
+	"upsim/internal/service"
+	"upsim/internal/uml"
+)
+
+// The five atomic services of the printing service, in the sequential order
+// of Figure 10.
+var PrintingAtomicServices = []string{
+	"Request printing",
+	"Login to printer",
+	"Send document list",
+	"Select documents",
+	"Send documents",
+}
+
+// PrintingService models Figure 10: the printing composite service as a
+// strictly sequential activity over the five atomic services.
+func PrintingService(m *uml.Model) (*service.Composite, error) {
+	return service.NewSequential(m, PrintingServiceName, PrintingAtomicServices...)
+}
+
+// BackupService is a second composite service of the kind the case study
+// mentions ("Atomic services can compose composite services (e.g. printing,
+// backup)"): a client requests a backup, the backup server fetches the data
+// from the file servers in parallel, then confirms.
+func BackupService(m *uml.Model) (*service.Composite, error) {
+	return service.NewStaged(m, BackupServiceName, [][]string{
+		{"Request backup"},
+		{"Fetch volume A", "Fetch volume B"},
+		{"Confirm backup"},
+	})
+}
+
+// TableIMapping reproduces Table I: the printing service requested from
+// client t1, printed on printer p2, through print server printS.
+func TableIMapping() *mapping.Mapping {
+	m := mapping.New()
+	for _, p := range []mapping.Pair{
+		{AtomicService: "Request printing", Requester: "t1", Provider: "printS"},
+		{AtomicService: "Login to printer", Requester: "p2", Provider: "printS"},
+		{AtomicService: "Send document list", Requester: "printS", Provider: "p2"},
+		{AtomicService: "Select documents", Requester: "p2", Provider: "printS"},
+		{AtomicService: "Send documents", Requester: "printS", Provider: "p2"},
+	} {
+		// The pairs are statically valid; Add cannot fail here.
+		if err := m.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// T15P3Mapping is the second perspective of Section VI-H: the printing
+// service requested from client t15, printed on printer p3, through the same
+// print server. Only the mapping changes; service description and network
+// model stay untouched.
+func T15P3Mapping() *mapping.Mapping {
+	m := TableIMapping()
+	if _, err := m.RemapComponent("t1", "t15"); err != nil {
+		panic(err)
+	}
+	if _, err := m.RemapComponent("p2", "p3"); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BackupMapping maps the backup service for client t7: request to the
+// backup server, which fetches from the two file servers and confirms back
+// to the client.
+func BackupMapping() *mapping.Mapping {
+	m := mapping.New()
+	for _, p := range []mapping.Pair{
+		{AtomicService: "Request backup", Requester: "t7", Provider: "backup"},
+		{AtomicService: "Fetch volume A", Requester: "backup", Provider: "file1"},
+		{AtomicService: "Fetch volume B", Requester: "backup", Provider: "file2"},
+		{AtomicService: "Confirm backup", Requester: "backup", Provider: "t7"},
+	} {
+		if err := m.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// Figure11Nodes is the expected UPSIM node set for the printing service
+// from t1 to p2 via printS (Figure 11), sorted.
+var Figure11Nodes = []string{"c1", "c2", "d1", "d2", "d4", "e1", "e3", "p2", "printS", "t1"}
+
+// Figure12Nodes is the expected UPSIM node set for the printing service
+// from t15 to p3 via printS (Figure 12), sorted.
+var Figure12Nodes = []string{"c1", "c2", "d2", "d4", "e4", "p3", "printS", "t15"}
+
+// ExamplePathsT1PrintS are the two paths Section VI-G lists for the first
+// Table I pair (requester t1, provider printS). Under the reconstructed
+// topology this list is the exhaustive enumeration, which is the strongest
+// reading of the paper consistent with Figures 11 and 12.
+var ExamplePathsT1PrintS = []string{
+	"t1—e1—d1—c1—d4—printS",
+	"t1—e1—d1—c1—c2—d4—printS",
+}

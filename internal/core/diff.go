@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff describes how the user-perceived infrastructure changes between two
+// generated UPSIMs — the operational view of the paper's dynamicity
+// scenarios (Section V-A3): when a user moves or a service migrates, Diff
+// shows exactly which components enter and leave their perceived
+// infrastructure.
+type Diff struct {
+	// AddedNodes are instance names only in the second UPSIM, sorted.
+	AddedNodes []string
+	// RemovedNodes are instance names only in the first UPSIM, sorted.
+	RemovedNodes []string
+	// KeptNodes are instance names in both, sorted.
+	KeptNodes []string
+	// AddedLinks and RemovedLinks are canonical "a--b" endpoint pairs.
+	AddedLinks   []string
+	RemovedLinks []string
+}
+
+// Empty reports whether the two UPSIMs are identical.
+func (d *Diff) Empty() bool {
+	return len(d.AddedNodes) == 0 && len(d.RemovedNodes) == 0 &&
+		len(d.AddedLinks) == 0 && len(d.RemovedLinks) == 0
+}
+
+// String renders the diff compactly, e.g. "+[t15 e4] -[t1 e1] links +1 -1".
+func (d *Diff) String() string {
+	if d.Empty() {
+		return "no change"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%v -%v", d.AddedNodes, d.RemovedNodes)
+	if len(d.AddedLinks) > 0 || len(d.RemovedLinks) > 0 {
+		fmt.Fprintf(&b, " links +%d -%d", len(d.AddedLinks), len(d.RemovedLinks))
+	}
+	return b.String()
+}
+
+// Compare computes the difference from the first to the second generation
+// result. Both results must stem from the same infrastructure model for the
+// comparison to be meaningful; this is not enforced, matching the paper's
+// use case of comparing perspectives over one network.
+func Compare(from, to *Result) (*Diff, error) {
+	if from == nil || to == nil || from.Graph == nil || to.Graph == nil {
+		return nil, fmt.Errorf("core: Compare needs two generated results")
+	}
+	d := &Diff{}
+	a := map[string]bool{}
+	for _, n := range from.Graph.NodeNames() {
+		a[n] = true
+	}
+	b := map[string]bool{}
+	for _, n := range to.Graph.NodeNames() {
+		b[n] = true
+	}
+	for n := range b {
+		if a[n] {
+			d.KeptNodes = append(d.KeptNodes, n)
+		} else {
+			d.AddedNodes = append(d.AddedNodes, n)
+		}
+	}
+	for n := range a {
+		if !b[n] {
+			d.RemovedNodes = append(d.RemovedNodes, n)
+		}
+	}
+	la := linkKeys(from)
+	lb := linkKeys(to)
+	for k := range lb {
+		if !la[k] {
+			d.AddedLinks = append(d.AddedLinks, k)
+		}
+	}
+	for k := range la {
+		if !lb[k] {
+			d.RemovedLinks = append(d.RemovedLinks, k)
+		}
+	}
+	sort.Strings(d.AddedNodes)
+	sort.Strings(d.RemovedNodes)
+	sort.Strings(d.KeptNodes)
+	sort.Strings(d.AddedLinks)
+	sort.Strings(d.RemovedLinks)
+	return d, nil
+}
+
+func linkKeys(r *Result) map[string]bool {
+	out := map[string]bool{}
+	for _, l := range r.UPSIM.Links() {
+		a, b := l.Ends()
+		x, y := a.Name(), b.Name()
+		if y < x {
+			x, y = y, x
+		}
+		out[x+"--"+y] = true
+	}
+	return out
+}

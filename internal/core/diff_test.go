@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	f := buildFixture(t)
+	g, err := NewGenerator(f.model, "infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := g.Generate(f.svc, f.mp, "d1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same mapping again: identical UPSIM.
+	r2, err := g.Generate(f.svc, f.mp, "d2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compare(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Errorf("identical UPSIMs diff = %s", d)
+	}
+	if d.String() != "no change" {
+		t.Errorf("String = %q", d.String())
+	}
+	if len(d.KeptNodes) != r1.Graph.NumNodes() {
+		t.Errorf("kept = %d, want %d", len(d.KeptNodes), r1.Graph.NumNodes())
+	}
+
+	// Perspective change: requester moves from t1 to sw1 — t1 leaves the
+	// perceived infrastructure.
+	mp2 := f.mp.Clone()
+	if _, err := mp2.RemapComponent("t1", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := g.Generate(f.svc, mp2, "d3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Compare(r1, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Empty() {
+		t.Fatal("perspective change must produce a diff")
+	}
+	if len(d2.RemovedNodes) != 1 || d2.RemovedNodes[0] != "t1" {
+		t.Errorf("removed = %v, want [t1]", d2.RemovedNodes)
+	}
+	if len(d2.AddedNodes) != 0 {
+		t.Errorf("added = %v, want none", d2.AddedNodes)
+	}
+	if len(d2.RemovedLinks) == 0 {
+		t.Error("t1's uplink must be removed")
+	}
+	if !strings.Contains(d2.String(), "links") {
+		t.Errorf("String = %q", d2.String())
+	}
+
+	// Reversed comparison mirrors the sets.
+	d3, err := Compare(r3, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d3.AddedNodes) != 1 || d3.AddedNodes[0] != "t1" {
+		t.Errorf("reverse added = %v", d3.AddedNodes)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	r, err := g.Generate(f.svc, f.mp, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(nil, r); err == nil {
+		t.Error("nil from should fail")
+	}
+	if _, err := Compare(r, nil); err == nil {
+		t.Error("nil to should fail")
+	}
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's primary contribution: the automated
+// generation of user-perceived service infrastructure models (UPSIMs).
+// Given an ICT infrastructure model (UML class + object diagrams), a
+// composite service description (UML activity diagram) and a service mapping
+// (XML pairs of requester and provider per atomic service), the Generator
+// executes Steps 5–8 of the methodology (Section V-B):
+//
+//  5. import the UML models into the VPM model space,
+//  6. import the service mapping pairs with the custom importer,
+//  7. discover all simple paths between requester and provider of every
+//     atomic service and store them in a reserved subtree of the model
+//     space,
+//  8. merge the paths into a single UML object diagram — the UPSIM
+//     (Definition 2) — preserving the instance signatures and therefore all
+//     static class properties for downstream dependability analysis.
+package core
+
+import (
+	"fmt"
+
+	"upsim/internal/importers"
+	"upsim/internal/mapping"
+	"upsim/internal/pathdisc"
+	"upsim/internal/service"
+	"upsim/internal/topology"
+	"upsim/internal/uml"
+	"upsim/internal/vpm"
+)
+
+// Algorithm selects the path-discovery variant for Step 7.
+type Algorithm uint8
+
+const (
+	// AlgoRecursive is the paper's recursive DFS with path tracking.
+	AlgoRecursive Algorithm = iota
+	// AlgoIterative is the explicit-stack DFS (identical output).
+	AlgoIterative
+	// AlgoParallel partitions the search over the requester's first hops
+	// across a worker pool (identical output).
+	AlgoParallel
+	// AlgoShortest keeps only one minimum-hop path per atomic service. It
+	// deliberately violates Definition 2 (all redundant paths) and exists
+	// for the redundancy ablation.
+	AlgoShortest
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoRecursive:
+		return "recursive-dfs"
+	case AlgoIterative:
+		return "iterative-dfs"
+	case AlgoParallel:
+		return "parallel-dfs"
+	case AlgoShortest:
+		return "shortest-path"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// MergeSemantics selects how discovered paths become the UPSIM topology.
+type MergeSemantics uint8
+
+const (
+	// MergeInduced keeps every infrastructure link whose both endpoints
+	// appear in some path — the paper's Step 8 "filter on the complete
+	// topology, where only nodes which appear at least once in the
+	// discovered paths are preserved" (Section VI-H).
+	MergeInduced MergeSemantics = iota
+	// MergeTraversed keeps only links actually traversed by some path, an
+	// alternative semantics used by the merge ablation.
+	MergeTraversed
+)
+
+// String returns the merge semantics name.
+func (m MergeSemantics) String() string {
+	switch m {
+	case MergeInduced:
+		return "induced"
+	case MergeTraversed:
+		return "traversed"
+	}
+	return fmt.Sprintf("MergeSemantics(%d)", uint8(m))
+}
+
+// Options tunes the generator. The zero value reproduces the paper: DFS all
+// simple paths, induced merge, disconnected pairs are errors.
+type Options struct {
+	Algorithm Algorithm
+	Merge     MergeSemantics
+	// Paths tunes the enumeration (depth/count bounds, parallel-edge
+	// collapsing).
+	Paths pathdisc.Options
+	// Workers sets the pool size for AlgoParallel (0 = one per branch).
+	Workers int
+	// AllowDisconnected produces a partial UPSIM instead of failing when an
+	// atomic service has no path between requester and provider.
+	AllowDisconnected bool
+}
+
+// ServicePaths records Step 7 output for one atomic service.
+type ServicePaths struct {
+	AtomicService string
+	Requester     string
+	Provider      string
+	Paths         []pathdisc.Path
+	Stats         pathdisc.Stats
+}
+
+// Result is the outcome of one UPSIM generation.
+type Result struct {
+	// Name is the UPSIM (and diagram) name.
+	Name string
+	// UPSIM is the generated UML object diagram, living in the source
+	// model; its instances share the classifiers of the infrastructure so
+	// every dependability property remains reachable (Section V-E).
+	UPSIM *uml.ObjectDiagram
+	// Source is the infrastructure object diagram the UPSIM was generated
+	// from. Path edge IDs in Services index into Source.Links().
+	Source *uml.ObjectDiagram
+	// Graph is the topology view of the UPSIM.
+	Graph *topology.Graph
+	// Services holds the per-atomic-service path sets in execution order.
+	Services []ServicePaths
+	// TotalPaths is the number of discovered paths over all atomic
+	// services.
+	TotalPaths int
+	// EdgeVisits aggregates the search effort of Step 7.
+	EdgeVisits int
+}
+
+// PathsFor returns the discovered paths of one atomic service.
+func (r *Result) PathsFor(atomicService string) ([]pathdisc.Path, bool) {
+	for _, sp := range r.Services {
+		if sp.AtomicService == atomicService {
+			return sp.Paths, true
+		}
+	}
+	return nil, false
+}
+
+// NodeNames returns the sorted node names of the UPSIM.
+func (r *Result) NodeNames() []string { return r.Graph.NodeNames() }
+
+// Generator owns the model space for one infrastructure model and runs the
+// Step 5–8 pipeline. A Generator is reusable: Generate may be called many
+// times with different services, mappings and perspectives against the same
+// imported infrastructure, which is exactly the dynamicity argument of
+// Section V-A3 (only the mapping changes between user perspectives).
+type Generator struct {
+	model       *uml.Model
+	diagramName string
+	space       *vpm.ModelSpace
+	graph       *topology.Graph
+	mappingSeq  int
+}
+
+// NewGenerator imports the model into a fresh model space (Step 5) and
+// prepares the graph view of the named infrastructure object diagram.
+func NewGenerator(m *uml.Model, diagramName string) (*Generator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	d, ok := m.Diagram(diagramName)
+	if !ok {
+		return nil, fmt.Errorf("core: model %q has no object diagram %q", m.Name(), diagramName)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid model: %w", err)
+	}
+	space := vpm.NewSpace()
+	im, err := importers.NewUMLImporter(space)
+	if err != nil {
+		return nil, err
+	}
+	if err := im.Import(m); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		model:       m,
+		diagramName: diagramName,
+		space:       space,
+		graph:       topology.FromObjectDiagram(d),
+	}, nil
+}
+
+// Space exposes the underlying model space (read-mostly; used by tests and
+// by tooling that wants to inspect imported entities and stored paths).
+func (g *Generator) Space() *vpm.ModelSpace { return g.space }
+
+// Graph returns the graph view of the infrastructure diagram.
+func (g *Generator) Graph() *topology.Graph { return g.graph }
+
+// Model returns the source UML model.
+func (g *Generator) Model() *uml.Model { return g.model }
+
+// Generate runs Steps 6–8 for one composite service, mapping and UPSIM name.
+// The name must be unique per generator invocation (it names the mapping
+// import, the stored path subtree and the output object diagram).
+func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name string, opts Options) (*Result, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("core: nil service")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("core: empty UPSIM name")
+	}
+	if _, taken := g.model.Diagram(name); taken {
+		return nil, fmt.Errorf("core: model already has an object diagram named %q", name)
+	}
+	if err := svc.CheckMapping(mp); err != nil {
+		return nil, err
+	}
+
+	// Step 6: import the service mapping pairs. The importer verifies every
+	// referenced component against the infrastructure diagram.
+	g.mappingSeq++
+	mappingName := fmt.Sprintf("%s-%d", name, g.mappingSeq)
+	mi, err := importers.NewMappingImporter(g.space)
+	if err != nil {
+		return nil, err
+	}
+	diagramFQN := importers.DiagramFQN(g.model.Name(), g.diagramName)
+	if err := mi.Import(mappingName, mp, diagramFQN); err != nil {
+		return nil, err
+	}
+
+	// Step 7: path discovery per atomic service, in execution order.
+	pairs, err := svc.RelevantPairs(mp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: name}
+	for _, p := range pairs {
+		req, prov, err := importers.ResolvePair(g.space, mappingName, p.AtomicService)
+		if err != nil {
+			return nil, err
+		}
+		sp := ServicePaths{
+			AtomicService: p.AtomicService,
+			Requester:     req.Name(),
+			Provider:      prov.Name(),
+		}
+		sp.Paths, sp.Stats, err = g.discover(req.Name(), prov.Name(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: atomic service %q: %w", name, p.AtomicService, err)
+		}
+		if len(sp.Paths) == 0 && !opts.AllowDisconnected {
+			return nil, fmt.Errorf("core: %s: atomic service %q: no path between requester %q and provider %q",
+				name, p.AtomicService, req.Name(), prov.Name())
+		}
+		res.Services = append(res.Services, sp)
+		res.TotalPaths += len(sp.Paths)
+		res.EdgeVisits += sp.Stats.EdgeVisits
+	}
+
+	// Store the discovered paths in a reserved subtree of the model space
+	// ("Resulting paths are stored separately in the model space for
+	// further manipulation", Step 7).
+	if err := g.storePaths(name, res.Services); err != nil {
+		return nil, err
+	}
+
+	// Step 8: merge all paths of all atomic services into one object
+	// diagram.
+	if err := g.merge(res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (g *Generator) discover(req, prov string, opts Options) ([]pathdisc.Path, pathdisc.Stats, error) {
+	switch opts.Algorithm {
+	case AlgoRecursive:
+		return pathdisc.AllPaths(g.graph, req, prov, opts.Paths)
+	case AlgoIterative:
+		return pathdisc.AllPathsIterative(g.graph, req, prov, opts.Paths)
+	case AlgoParallel:
+		return pathdisc.AllPathsParallel(g.graph, req, prov, opts.Paths, opts.Workers)
+	case AlgoShortest:
+		p, err := pathdisc.ShortestPath(g.graph, req, prov)
+		if err != nil {
+			// Unreachable providers surface as zero paths, consistent with
+			// the DFS variants.
+			return nil, pathdisc.Stats{}, nil
+		}
+		return []pathdisc.Path{p}, pathdisc.Stats{Paths: 1, EdgeVisits: p.Len()}, nil
+	}
+	return nil, pathdisc.Stats{}, fmt.Errorf("unknown algorithm %v", opts.Algorithm)
+}
+
+// storePaths materialises paths under paths.<name>.<atomic service>.p<i>,
+// each entity valued with the paper-style path string.
+func (g *Generator) storePaths(name string, services []ServicePaths) error {
+	for _, sp := range services {
+		parent, err := g.space.EnsureEntity("paths." + name + "." + sp.AtomicService)
+		if err != nil {
+			return err
+		}
+		for i, p := range sp.Paths {
+			pe, err := g.space.NewEntity(parent, fmt.Sprintf("p%d", i))
+			if err != nil {
+				return err
+			}
+			pe.SetValue(p.String())
+		}
+	}
+	return nil
+}
+
+// merge builds the UPSIM object diagram and graph from the union of all
+// discovered paths. "Multiple occurrences are ignored" — the merge is a set
+// union over nodes (and, for MergeTraversed, edges).
+func (g *Generator) merge(res *Result, opts Options) error {
+	keep := make(map[string]bool)
+	edges := make(map[int]bool)
+	for _, sp := range res.Services {
+		for n := range pathdisc.NodeSet(sp.Paths) {
+			keep[n] = true
+		}
+		for e := range pathdisc.EdgeSet(sp.Paths) {
+			edges[e] = true
+		}
+	}
+
+	src, _ := g.model.Diagram(g.diagramName)
+	res.Source = src
+	out := g.model.NewObjectDiagram(res.Name)
+	for _, inst := range src.Instances() {
+		if !keep[inst.Name()] {
+			continue
+		}
+		if _, err := out.AddInstance(inst.Name(), inst.Classifier()); err != nil {
+			return err
+		}
+	}
+	// The topology graph was built from src in link order, so edge ID i is
+	// src.Links()[i].
+	links := src.Links()
+	for i, l := range links {
+		a, b := l.Ends()
+		include := false
+		switch opts.Merge {
+		case MergeInduced:
+			include = keep[a.Name()] && keep[b.Name()]
+		case MergeTraversed:
+			include = edges[i]
+		default:
+			return fmt.Errorf("core: unknown merge semantics %v", opts.Merge)
+		}
+		if !include {
+			continue
+		}
+		if _, err := out.ConnectByName(a.Name(), b.Name(), l.Association()); err != nil {
+			return err
+		}
+	}
+	res.UPSIM = out
+	res.Graph = topology.FromObjectDiagram(out)
+	return nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"upsim/internal/mapping"
+	"upsim/internal/pathdisc"
+	"upsim/internal/service"
+	"upsim/internal/uml"
+)
+
+// fixture builds a diamond network:
+//
+//	t1 — sw1 — c1 — sw2 — srv      plus the redundant core c2:
+//	           sw1 — c2 — sw2
+//	iso (isolated client, for disconnection tests)
+//
+// and a two-service composite print := fetch;deliver with Table-I style
+// mapping t1→srv, srv→t1.
+type fixture struct {
+	model *uml.Model
+	svc   *service.Composite
+	mp    *mapping.Mapping
+}
+
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	m := uml.NewModel("net")
+	p := uml.NewProfile("availability")
+	comp, _ := p.DefineAbstractStereotype("Component", uml.MetaclassNone)
+	if err := comp.AddAttribute("MTBF", uml.KindReal); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.AddAttribute("MTTR", uml.KindReal); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := p.DefineSubStereotype("Device", uml.MetaclassClass, comp)
+	conn, _ := p.DefineSubStereotype("Connector", uml.MetaclassAssociation, comp)
+	if err := m.AddProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	addClass := func(name string, mtbf, mttr float64) *uml.Class {
+		c, err := m.AddClass(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := c.Apply(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = app.Set("MTBF", uml.RealValue(mtbf))
+		_ = app.Set("MTTR", uml.RealValue(mttr))
+		return c
+	}
+	client := addClass("Client", 3000, 24)
+	sw := addClass("Switch", 180000, 0.5)
+	srv := addClass("Server", 60000, 0.1)
+	addAssoc := func(name string, a, b *uml.Class) *uml.Association {
+		as, err := m.AddAssociation(name, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := as.Apply(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = app.Set("MTBF", uml.RealValue(1e6))
+		_ = app.Set("MTTR", uml.RealValue(0.1))
+		return as
+	}
+	cs := addAssoc("Client-Switch", client, sw)
+	ss := addAssoc("Switch-Switch", sw, sw)
+	ss2 := addAssoc("Switch-Switch-2", sw, sw)
+	sv := addAssoc("Switch-Server", sw, srv)
+
+	d := m.NewObjectDiagram("infrastructure")
+	mustInst := func(name string, c *uml.Class) {
+		if _, err := d.AddInstance(name, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInst("t1", client)
+	mustInst("iso", client)
+	for _, n := range []string{"sw1", "c1", "c2", "sw2"} {
+		mustInst(n, sw)
+	}
+	mustInst("srv", srv)
+	mustLink := func(a, b string, as *uml.Association) {
+		if _, err := d.ConnectByName(a, b, as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink("t1", "sw1", cs)
+	mustLink("sw1", "c1", ss)
+	mustLink("sw1", "c2", ss)
+	mustLink("c1", "sw2", ss)
+	mustLink("c2", "sw2", ss)
+	mustLink("c1", "c2", ss)  // core interconnect
+	mustLink("c1", "c2", ss2) // redundant core interconnect
+	mustLink("sw2", "srv", sv)
+
+	svc, err := service.NewSequential(m, "print", "fetch", "deliver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := mapping.New()
+	if err := mp.Add(mapping.Pair{AtomicService: "fetch", Requester: "t1", Provider: "srv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Add(mapping.Pair{AtomicService: "deliver", Requester: "srv", Provider: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{model: m, svc: svc, mp: mp}
+}
+
+func TestGenerateUPSIM(t *testing.T) {
+	f := buildFixture(t)
+	g, err := NewGenerator(f.model, "infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Generate(f.svc, f.mp, "upsim-t1", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The isolated client is filtered out; everything else participates.
+	want := []string{"c1", "c2", "srv", "sw1", "sw2", "t1"}
+	got := res.NodeNames()
+	if len(got) != len(want) {
+		t.Fatalf("UPSIM nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("node[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if res.UPSIM.Name() != "upsim-t1" {
+		t.Errorf("diagram name = %q", res.UPSIM.Name())
+	}
+	// Induced merge keeps all 8 infrastructure links except t1's isolated
+	// peer (iso has no links anyway): both redundant core links survive.
+	if res.Graph.NumEdges() != 8 {
+		t.Errorf("UPSIM edges = %d, want 8", res.Graph.NumEdges())
+	}
+	// Both atomic services discovered paths; requester/provider recorded.
+	if len(res.Services) != 2 || res.Services[0].AtomicService != "fetch" {
+		t.Fatalf("services = %+v", res.Services)
+	}
+	if res.Services[0].Requester != "t1" || res.Services[0].Provider != "srv" {
+		t.Errorf("pair = %s -> %s", res.Services[0].Requester, res.Services[0].Provider)
+	}
+	if res.TotalPaths == 0 || res.EdgeVisits == 0 {
+		t.Error("stats not populated")
+	}
+	paths, ok := res.PathsFor("fetch")
+	if !ok || len(paths) == 0 {
+		t.Fatal("PathsFor(fetch) empty")
+	}
+	if _, ok := res.PathsFor("ghost"); ok {
+		t.Error("PathsFor(ghost) should be absent")
+	}
+	// Every discovered path runs requester -> provider.
+	for _, p := range paths {
+		if p.Nodes[0] != "t1" || p.Nodes[len(p.Nodes)-1] != "srv" {
+			t.Errorf("path %s has wrong endpoints", p)
+		}
+	}
+}
+
+func TestUPSIMPreservesProperties(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	res, err := g.Generate(f.svc, f.mp, "u", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section V-E: instance specifications keep the signature and the
+	// static properties of their classes.
+	inst, ok := res.UPSIM.Instance("srv")
+	if !ok {
+		t.Fatal("srv missing from UPSIM")
+	}
+	if inst.Signature() != "srv:Server" {
+		t.Errorf("signature = %q", inst.Signature())
+	}
+	if v, ok := inst.Property("MTBF"); !ok || v.AsReal() != 60000 {
+		t.Errorf("srv MTBF = %v, %v", v, ok)
+	}
+	for _, l := range res.UPSIM.Links() {
+		if v, ok := l.Property("MTBF"); !ok || v.AsReal() != 1e6 {
+			t.Errorf("link %s MTBF = %v, %v", l, v, ok)
+		}
+	}
+}
+
+func TestPathsStoredInModelSpace(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	res, err := g.Generate(f.svc, f.mp, "stored", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, ok := g.Space().Lookup("paths.stored.fetch")
+	if !ok {
+		t.Fatal("stored path subtree missing")
+	}
+	kids := parent.Children()
+	fetchPaths, _ := res.PathsFor("fetch")
+	if len(kids) != len(fetchPaths) {
+		t.Fatalf("stored paths = %d, want %d", len(kids), len(fetchPaths))
+	}
+	if kids[0].Value() != fetchPaths[0].String() {
+		t.Errorf("stored path value = %q, want %q", kids[0].Value(), fetchPaths[0].String())
+	}
+}
+
+func TestGenerateDifferentPerspectives(t *testing.T) {
+	// Section VI-H: changing the user perspective touches only the mapping.
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	if _, err := g.Generate(f.svc, f.mp, "p1", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mp2 := f.mp.Clone()
+	// Swap the client's role for the provider-side switch: now the UPSIM is
+	// the sub-infrastructure between sw1 and srv.
+	if _, err := mp2.RemapComponent("t1", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := g.Generate(f.svc, mp2, "p2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res2.NodeNames() {
+		if n == "t1" {
+			t.Error("t1 must not appear in the sw1 perspective")
+		}
+	}
+	// Both diagrams coexist in the model.
+	if _, ok := f.model.Diagram("p1"); !ok {
+		t.Error("p1 diagram missing")
+	}
+	if _, ok := f.model.Diagram("p2"); !ok {
+		t.Error("p2 diagram missing")
+	}
+}
+
+func TestGenerateDisconnected(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	mp := mapping.New()
+	_ = mp.Add(mapping.Pair{AtomicService: "fetch", Requester: "iso", Provider: "srv"})
+	_ = mp.Add(mapping.Pair{AtomicService: "deliver", Requester: "srv", Provider: "iso"})
+	_, err := g.Generate(f.svc, mp, "disc", Options{})
+	if err == nil || !strings.Contains(err.Error(), "no path") {
+		t.Errorf("disconnected pair error = %v", err)
+	}
+	res, err := g.Generate(f.svc, mp, "disc2", Options{AllowDisconnected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPaths != 0 || res.Graph.NumNodes() != 0 {
+		t.Errorf("partial UPSIM = %d paths, %d nodes", res.TotalPaths, res.Graph.NumNodes())
+	}
+}
+
+func TestGenerateAlgorithmsAgree(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	base, err := g.Generate(f.svc, f.mp, "a-rec", Options{Algorithm: AlgoRecursive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := g.Generate(f.svc, f.mp, "a-iter", Options{Algorithm: AlgoIterative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := g.Generate(f.svc, f.mp, "a-par", Options{Algorithm: AlgoParallel, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Services {
+		if !pathdisc.Equal(base.Services[i].Paths, iter.Services[i].Paths) {
+			t.Errorf("service %d: iterative differs", i)
+		}
+		if !pathdisc.Equal(base.Services[i].Paths, par.Services[i].Paths) {
+			t.Errorf("service %d: parallel differs", i)
+		}
+	}
+	// Same UPSIM node set in all variants.
+	b, i, p := base.NodeNames(), iter.NodeNames(), par.NodeNames()
+	for k := range b {
+		if b[k] != i[k] || b[k] != p[k] {
+			t.Fatalf("node sets differ: %v / %v / %v", b, i, p)
+		}
+	}
+}
+
+func TestGenerateShortestAblation(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	full, err := g.Generate(f.svc, f.mp, "full", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := g.Generate(f.svc, f.mp, "short", Options{Algorithm: AlgoShortest, Merge: MergeTraversed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.TotalPaths != 2 {
+		t.Errorf("shortest ablation paths = %d, want 2", short.TotalPaths)
+	}
+	if short.Graph.NumNodes() >= full.Graph.NumNodes() {
+		t.Errorf("shortest UPSIM should be smaller: %d vs %d nodes",
+			short.Graph.NumNodes(), full.Graph.NumNodes())
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	f := buildFixture(t)
+	g, _ := NewGenerator(f.model, "infrastructure")
+	// CollapseParallel drops the redundant core link from the traversed
+	// edge set but the induced merge restores it from the topology.
+	induced, err := g.Generate(f.svc, f.mp, "m-ind",
+		Options{Merge: MergeInduced, Paths: pathdisc.Options{CollapseParallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traversed, err := g.Generate(f.svc, f.mp, "m-trav",
+		Options{Merge: MergeTraversed, Paths: pathdisc.Options{CollapseParallel: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if induced.Graph.NumEdges() != 8 {
+		t.Errorf("induced edges = %d, want 8", induced.Graph.NumEdges())
+	}
+	if traversed.Graph.NumEdges() != 7 {
+		t.Errorf("traversed+collapsed edges = %d, want 7", traversed.Graph.NumEdges())
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	f := buildFixture(t)
+	if _, err := NewGenerator(nil, "x"); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := NewGenerator(f.model, "ghost"); err == nil {
+		t.Error("unknown diagram should fail")
+	}
+	g, err := NewGenerator(f.model, "infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(nil, f.mp, "x", Options{}); err == nil {
+		t.Error("nil service should fail")
+	}
+	if _, err := g.Generate(f.svc, f.mp, "", Options{}); err == nil {
+		t.Error("empty name should fail")
+	}
+	incomplete := mapping.New()
+	_ = incomplete.Add(mapping.Pair{AtomicService: "fetch", Requester: "t1", Provider: "srv"})
+	if _, err := g.Generate(f.svc, incomplete, "x", Options{}); err == nil {
+		t.Error("incomplete mapping should fail")
+	}
+	dangling := mapping.New()
+	_ = dangling.Add(mapping.Pair{AtomicService: "fetch", Requester: "ghost", Provider: "srv"})
+	_ = dangling.Add(mapping.Pair{AtomicService: "deliver", Requester: "srv", Provider: "ghost"})
+	if _, err := g.Generate(f.svc, dangling, "x", Options{}); err == nil {
+		t.Error("dangling mapping reference should fail")
+	}
+	// Invalid model rejected at generator construction.
+	bad := uml.NewModel("bad")
+	badAct, _ := bad.NewActivity("broken")
+	if _, err := badAct.AddAction("floating"); err != nil {
+		t.Fatal(err)
+	}
+	bad.NewObjectDiagram("d")
+	if _, err := NewGenerator(bad, "d"); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestAlgorithmAndMergeStrings(t *testing.T) {
+	for algo, want := range map[Algorithm]string{
+		AlgoRecursive: "recursive-dfs", AlgoIterative: "iterative-dfs",
+		AlgoParallel: "parallel-dfs", AlgoShortest: "shortest-path",
+	} {
+		if algo.String() != want {
+			t.Errorf("%d.String() = %q", algo, algo.String())
+		}
+	}
+	if !strings.Contains(Algorithm(9).String(), "Algorithm(") {
+		t.Error("unknown algorithm fallback")
+	}
+	if MergeInduced.String() != "induced" || MergeTraversed.String() != "traversed" {
+		t.Error("merge semantics names wrong")
+	}
+	if !strings.Contains(MergeSemantics(9).String(), "MergeSemantics(") {
+		t.Error("unknown merge fallback")
+	}
+}
+
+func TestGenerateNameCollision(t *testing.T) {
+	f := buildFixture(t)
+	g, err := NewGenerator(f.model, "infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(f.svc, f.mp, "dup", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(f.svc, f.mp, "dup", Options{}); err == nil {
+		t.Error("reusing a UPSIM name must fail instead of shadowing the diagram")
+	}
+	// Colliding with the infrastructure diagram itself is also rejected.
+	if _, err := g.Generate(f.svc, f.mp, "infrastructure", Options{}); err == nil {
+		t.Error("UPSIM named like the infrastructure diagram must fail")
+	}
+}

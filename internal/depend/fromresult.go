@@ -1,0 +1,199 @@
+package depend
+
+import (
+	"fmt"
+
+	"upsim/internal/core"
+	"upsim/internal/uml"
+)
+
+// AvailabilityModel selects how per-component availability is derived from
+// the MTBF/MTTR attributes.
+type AvailabilityModel uint8
+
+const (
+	// ModelExact uses A = MTBF/(MTBF+MTTR).
+	ModelExact AvailabilityModel = iota
+	// ModelFormula1 uses the paper's Formula 1, A = 1 − MTTR/MTBF.
+	ModelFormula1
+)
+
+// String returns the model name.
+func (m AvailabilityModel) String() string {
+	switch m {
+	case ModelExact:
+		return "exact"
+	case ModelFormula1:
+		return "formula1"
+	}
+	return fmt.Sprintf("AvailabilityModel(%d)", uint8(m))
+}
+
+// LinkComponentID returns the component ID used for the link with the given
+// endpoints and source-diagram edge index. Devices use their instance name;
+// links need a synthetic ID because they are anonymous in the object
+// diagram. The endpoints are ordered canonically so that the same physical
+// link traversed in opposite directions by different atomic services maps
+// to one component.
+func LinkComponentID(a, b string, edgeID int) string {
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s--%s#%d", a, b, edgeID)
+}
+
+// FromResult builds the service structure function and the per-component
+// availability table from a generated UPSIM. Every discovered path becomes
+// one minimal path set containing its devices and connectors; the
+// availability of each component is computed from the MTBF/MTTR attributes
+// its class (or association) carries via the availability profile. This is
+// the UPSIM → RBD/FT transformation of Section VII: "entities correspond to
+// components of the UPSIM" and "the availability for individual components
+// can be calculated using the component attributes MTBF and MTTR, as seen
+// in Formula 1".
+func FromResult(res *core.Result, model AvailabilityModel) (*ServiceStructure, map[string]float64, error) {
+	if res == nil || res.Source == nil {
+		return nil, nil, fmt.Errorf("depend: nil generation result")
+	}
+	avail := make(map[string]float64)
+	links := res.Source.Links()
+
+	compute := func(mtbf, mttr float64) (float64, error) {
+		if model == ModelFormula1 {
+			return AvailabilityFormula1(mtbf, mttr)
+		}
+		return Availability(mtbf, mttr)
+	}
+	deviceAvail := func(name string) (float64, error) {
+		inst, ok := res.Source.Instance(name)
+		if !ok {
+			return 0, fmt.Errorf("depend: path references unknown instance %q", name)
+		}
+		return instanceAvailability(inst, compute)
+	}
+
+	st := &ServiceStructure{}
+	for _, sp := range res.Services {
+		atomic := AtomicStructure{Name: sp.AtomicService}
+		for _, p := range sp.Paths {
+			ps := make(PathSet, 0, len(p.Nodes)+len(p.Edges))
+			for _, n := range p.Nodes {
+				if _, done := avail[n]; !done {
+					a, err := deviceAvail(n)
+					if err != nil {
+						return nil, nil, err
+					}
+					avail[n] = a
+				}
+				ps = append(ps, n)
+			}
+			for i, id := range p.Edges {
+				if id < 0 || id >= len(links) {
+					return nil, nil, fmt.Errorf("depend: path references unknown edge %d", id)
+				}
+				l := links[id]
+				cid := LinkComponentID(p.Nodes[i], p.Nodes[i+1], id)
+				if _, done := avail[cid]; !done {
+					a, err := linkAvailability(l, compute)
+					if err != nil {
+						return nil, nil, err
+					}
+					avail[cid] = a
+				}
+				ps = append(ps, cid)
+			}
+			atomic.PathSets = append(atomic.PathSets, ps)
+		}
+		st.AtomicServices = append(st.AtomicServices, atomic)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return st, avail, nil
+}
+
+func instanceAvailability(inst *uml.InstanceSpecification, compute func(mtbf, mttr float64) (float64, error)) (float64, error) {
+	mtbf, ok := inst.Property("MTBF")
+	if !ok {
+		return 0, fmt.Errorf("depend: component %q has no MTBF attribute (availability profile not applied?)",
+			inst.Name())
+	}
+	mttr, ok := inst.Property("MTTR")
+	if !ok {
+		return 0, fmt.Errorf("depend: component %q has no MTTR attribute", inst.Name())
+	}
+	a, err := compute(mtbf.AsReal(), mttr.AsReal())
+	if err != nil {
+		return 0, fmt.Errorf("depend: component %q: %w", inst.Name(), err)
+	}
+	return a, nil
+}
+
+func linkAvailability(l *uml.Link, compute func(mtbf, mttr float64) (float64, error)) (float64, error) {
+	mtbf, ok := l.Property("MTBF")
+	if !ok {
+		return 0, fmt.Errorf("depend: link %s has no MTBF attribute (connector stereotype not applied?)",
+			l.Signature())
+	}
+	mttr, ok := l.Property("MTTR")
+	if !ok {
+		return 0, fmt.Errorf("depend: link %s has no MTTR attribute", l.Signature())
+	}
+	a, err := compute(mtbf.AsReal(), mttr.AsReal())
+	if err != nil {
+		return 0, fmt.Errorf("depend: link %s: %w", l.Signature(), err)
+	}
+	return a, nil
+}
+
+// Report is the end-to-end analysis of one UPSIM: the exact user-perceived
+// availability plus the approximations, for direct tabulation by the
+// experiment harness.
+type Report struct {
+	Exact                float64
+	RBDApprox            float64
+	FTApprox             float64 // 1 − P(top event); equals RBDApprox by duality
+	MonteCarlo           float64
+	MCStdErr             float64
+	DowntimePerYearHours float64
+	Components           int
+}
+
+// Analyze runs the full Section VII analysis pipeline on a generation
+// result: derive component availabilities, build the structure, evaluate
+// exactly, by RBD/FT approximation and by simulation.
+func Analyze(res *core.Result, model AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	st, avail, err := FromResult(res, model)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := st.Exact(avail)
+	if err != nil {
+		return nil, err
+	}
+	rbd, err := st.RBDApprox(avail)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := st.ToFaultTree(avail)
+	if err != nil {
+		return nil, err
+	}
+	topQ, err := ft.Probability()
+	if err != nil {
+		return nil, err
+	}
+	mc, se, err := st.MonteCarlo(avail, mcSamples, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Exact:                exact,
+		RBDApprox:            rbd,
+		FTApprox:             1 - topQ,
+		MonteCarlo:           mc,
+		MCStdErr:             se,
+		DowntimePerYearHours: (1 - exact) * 365 * 24,
+		Components:           len(st.Components()),
+	}, nil
+}

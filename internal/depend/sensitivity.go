@@ -1,0 +1,150 @@
+package depend
+
+import (
+	"fmt"
+	"sort"
+
+	"upsim/internal/core"
+)
+
+// Section VII highlights that "changes to intrinsic properties of network
+// devices (MTBF, redundant components, manufacturer, etc.) can be performed
+// directly in the class description and so reflect to all objects in the
+// service infrastructure model". This file quantifies that lever: the
+// sensitivity of the user-perceived service availability to each *class's*
+// MTBF and MTTR, aggregated over every instance of the class in the UPSIM.
+// It answers the procurement question "which hardware class is worth
+// upgrading for this user?".
+
+// ClassSensitivity is the sensitivity record for one component class.
+type ClassSensitivity struct {
+	// Class is the class (or association) name.
+	Class string
+	// Instances counts the UPSIM components of this class on discovered
+	// paths.
+	Instances int
+	// DAvailDMTBF is ∂A_service/∂MTBF_class in 1/hours: the availability
+	// gained per additional hour of class MTBF.
+	DAvailDMTBF float64
+	// DAvailDMTTR is ∂A_service/∂MTTR_class in 1/hours (negative: longer
+	// repairs hurt).
+	DAvailDMTTR float64
+}
+
+// SensitivityReport ranks classes by |∂A/∂MTBF|.
+type SensitivityReport struct {
+	Classes []ClassSensitivity
+}
+
+// Sensitivity computes the class-level availability sensitivities for a
+// generation result. For every component the chain rule gives
+//
+//	∂A_sys/∂MTBF_c = Σ_{i : class(i)=c} Birnbaum_i · ∂A_i/∂MTBF
+//	∂A_i/∂MTBF     = MTTR / (MTBF+MTTR)²
+//	∂A_i/∂MTTR     = −MTBF / (MTBF+MTTR)²
+//
+// using the exact (Formula-free) component availability; Birnbaum factors
+// come from the exact structure-function engine. Devices aggregate by class
+// name, links by association name.
+func Sensitivity(res *core.Result) (*SensitivityReport, error) {
+	st, avail, err := FromResult(res, ModelExact)
+	if err != nil {
+		return nil, err
+	}
+	links := res.Source.Links()
+	type rates struct {
+		mtbf, mttr float64
+	}
+	// Resolve every structure component to its class and failure data.
+	classOf := make(map[string]string)
+	rateOf := make(map[string]rates)
+	for _, comp := range st.Components() {
+		if edgeID, isLink := parseLinkComponent(comp); isLink {
+			if edgeID < 0 || edgeID >= len(links) {
+				return nil, fmt.Errorf("depend: link component %q references unknown edge", comp)
+			}
+			l := links[edgeID]
+			mtbf, _ := l.Property("MTBF")
+			mttr, _ := l.Property("MTTR")
+			classOf[comp] = l.Association().Name()
+			rateOf[comp] = rates{mtbf: mtbf.AsReal(), mttr: mttr.AsReal()}
+			continue
+		}
+		inst, ok := res.Source.Instance(comp)
+		if !ok {
+			return nil, fmt.Errorf("depend: component %q not in source diagram", comp)
+		}
+		mtbf, _ := inst.Property("MTBF")
+		mttr, _ := inst.Property("MTTR")
+		classOf[comp] = inst.Classifier().Name()
+		rateOf[comp] = rates{mtbf: mtbf.AsReal(), mttr: mttr.AsReal()}
+	}
+
+	agg := make(map[string]*ClassSensitivity)
+	for _, comp := range st.Components() {
+		b, err := st.Birnbaum(avail, comp)
+		if err != nil {
+			return nil, err
+		}
+		r := rateOf[comp]
+		denom := (r.mtbf + r.mttr) * (r.mtbf + r.mttr)
+		if denom == 0 {
+			return nil, fmt.Errorf("depend: component %q has zero MTBF+MTTR", comp)
+		}
+		cls := classOf[comp]
+		cs, ok := agg[cls]
+		if !ok {
+			cs = &ClassSensitivity{Class: cls}
+			agg[cls] = cs
+		}
+		cs.Instances++
+		cs.DAvailDMTBF += b * r.mttr / denom
+		cs.DAvailDMTTR -= b * r.mtbf / denom
+	}
+	rep := &SensitivityReport{}
+	for _, cs := range agg {
+		rep.Classes = append(rep.Classes, *cs)
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool {
+		a, b := rep.Classes[i], rep.Classes[j]
+		if a.DAvailDMTBF != b.DAvailDMTBF {
+			return a.DAvailDMTBF > b.DAvailDMTBF
+		}
+		return a.Class < b.Class
+	})
+	return rep, nil
+}
+
+// parseLinkComponent recognises the LinkComponentID format "a--b#<edge>".
+func parseLinkComponent(comp string) (edgeID int, ok bool) {
+	hash := -1
+	for i := len(comp) - 1; i >= 0; i-- {
+		if comp[i] == '#' {
+			hash = i
+			break
+		}
+	}
+	if hash < 0 || !containsSep(comp[:hash]) {
+		return 0, false
+	}
+	id := 0
+	if hash == len(comp)-1 {
+		return 0, false
+	}
+	for _, c := range comp[hash+1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + int(c-'0')
+	}
+	return id, true
+}
+
+func containsSep(s string) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '-' && s[i+1] == '-' {
+			return true
+		}
+	}
+	return false
+}

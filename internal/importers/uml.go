@@ -1,0 +1,367 @@
+// Package importers implements Steps 5 and 6 of the UPSIM methodology: the
+// UML native importer that materialises UML models as VPM entities and
+// relations ("VIATRA2 creates entities for model elements and their
+// relations"), and the custom service-mapping importer built on a dedicated
+// mapping metamodel (Section V-C).
+//
+// Namespace layout in the model space:
+//
+//	metamodel.uml.*          UML metamodel entities (Class, Association, …)
+//	metamodel.mapping.*      service-mapping metamodel (ServiceMappingPair)
+//	models.<model>.profiles.<profile>.<stereotype>
+//	models.<model>.classes.<class>.<attribute>
+//	models.<model>.associations.<association>.<attribute>
+//	models.<model>.diagrams.<diagram>.<instance>
+//	models.<model>.activities.<activity>.<node>
+//	mappings.<name>.<atomic service>
+//
+// Relations: "stereotype" (class/association → stereotype), "endA"/"endB"
+// (association → class), "classifier" (instance → class), "link"
+// (instance ↔ instance, value = association name), "flow" (activity node →
+// node), "requester"/"provider" (mapping pair → instance).
+package importers
+
+import (
+	"fmt"
+	"strings"
+
+	"upsim/internal/uml"
+	"upsim/internal/vpm"
+)
+
+// Namespace roots and relation names used by the importers. They are
+// exported so that downstream transformations (package core) can navigate
+// the model space without hard-coding strings.
+const (
+	NSUMLMetamodel     = "metamodel.uml"
+	NSMappingMetamodel = "metamodel.mapping"
+	NSModels           = "models"
+	NSMappings         = "mappings"
+
+	RelStereotype = "stereotype"
+	RelEndA       = "endA"
+	RelEndB       = "endB"
+	RelClassifier = "classifier"
+	RelLink       = "link"
+	RelFlow       = "flow"
+	RelRequester  = "requester"
+	RelProvider   = "provider"
+)
+
+// UML metamodel entity names under NSUMLMetamodel.
+const (
+	MetaClass       = "Class"
+	MetaAssociation = "Association"
+	MetaInstance    = "InstanceSpecification"
+	MetaProfile     = "Profile"
+	MetaStereotype  = "Stereotype"
+	MetaAttribute   = "Attribute"
+	MetaActivity    = "Activity"
+	MetaInitial     = "Initial"
+	MetaFinal       = "Final"
+	MetaAction      = "Action"
+	MetaFork        = "Fork"
+	MetaJoin        = "Join"
+)
+
+// MetaPair is the single entity of the mapping metamodel.
+const MetaPair = "ServiceMappingPair"
+
+// EnsureUMLMetamodel creates the UML metamodel entities if absent and
+// returns the metamodel root.
+func EnsureUMLMetamodel(s *vpm.ModelSpace) (*vpm.Entity, error) {
+	root, err := s.EnsureEntity(NSUMLMetamodel)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []string{
+		MetaClass, MetaAssociation, MetaInstance, MetaProfile, MetaStereotype,
+		MetaAttribute, MetaActivity, MetaInitial, MetaFinal, MetaAction,
+		MetaFork, MetaJoin,
+	} {
+		if _, err := s.EnsureEntity(NSUMLMetamodel + "." + n); err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+// UMLImporter imports uml.Model resources into a model space. It mirrors
+// VIATRA2's "native UML importer" (Step 5): every profile, stereotype,
+// class, association, instance specification, link and activity node becomes
+// an entity or relation typed by the UML metamodel.
+type UMLImporter struct {
+	space *vpm.ModelSpace
+}
+
+// NewUMLImporter creates an importer bound to a model space, materialising
+// the UML metamodel on construction.
+func NewUMLImporter(s *vpm.ModelSpace) (*UMLImporter, error) {
+	if s == nil {
+		return nil, fmt.Errorf("importers: nil model space")
+	}
+	if _, err := EnsureUMLMetamodel(s); err != nil {
+		return nil, err
+	}
+	return &UMLImporter{space: s}, nil
+}
+
+// Import materialises the model under models.<model name>. Importing two
+// models with the same name is an error.
+func (im *UMLImporter) Import(m *uml.Model) error {
+	if m == nil {
+		return fmt.Errorf("importers: nil model")
+	}
+	if m.Name() == "" {
+		return fmt.Errorf("importers: model without name")
+	}
+	if strings.Contains(m.Name(), ".") {
+		return fmt.Errorf("importers: model name %q contains namespace separator", m.Name())
+	}
+	s := im.space
+	modelsRoot, err := s.EnsureEntity(NSModels)
+	if err != nil {
+		return err
+	}
+	if _, dup := modelsRoot.Child(m.Name()); dup {
+		return fmt.Errorf("importers: model %q already imported", m.Name())
+	}
+	modelRoot, err := s.NewEntity(modelsRoot, m.Name())
+	if err != nil {
+		return err
+	}
+
+	typeOf := func(inst *vpm.Entity, meta string) error {
+		return s.SetInstanceOf(inst, s.MustLookup(NSUMLMetamodel+"."+meta))
+	}
+
+	// Profiles and stereotypes.
+	profilesRoot, err := s.NewEntity(modelRoot, "profiles")
+	if err != nil {
+		return err
+	}
+	stereoEnt := make(map[*uml.Stereotype]*vpm.Entity)
+	for _, p := range m.Profiles() {
+		pe, err := s.NewEntity(profilesRoot, p.Name())
+		if err != nil {
+			return err
+		}
+		if err := typeOf(pe, MetaProfile); err != nil {
+			return err
+		}
+		for _, st := range p.Stereotypes() {
+			se, err := s.NewEntity(pe, st.Name())
+			if err != nil {
+				return err
+			}
+			if err := typeOf(se, MetaStereotype); err != nil {
+				return err
+			}
+			stereoEnt[st] = se
+		}
+	}
+
+	// Classes with their static attribute values.
+	classesRoot, err := s.NewEntity(modelRoot, "classes")
+	if err != nil {
+		return err
+	}
+	classEnt := make(map[*uml.Class]*vpm.Entity)
+	for _, c := range m.Classes() {
+		ce, err := s.NewEntity(classesRoot, c.Name())
+		if err != nil {
+			return err
+		}
+		if err := typeOf(ce, MetaClass); err != nil {
+			return err
+		}
+		classEnt[c] = ce
+		for _, app := range c.Applications() {
+			se, ok := stereoEnt[app.Stereotype()]
+			if !ok {
+				return fmt.Errorf("importers: class %s applies stereotype %s from an unregistered profile",
+					c.Name(), app.Stereotype().Name())
+			}
+			if _, err := s.NewRelation(RelStereotype, ce, se); err != nil {
+				return err
+			}
+		}
+		if err := im.importAttributes(ce, c.PropertyNames(), c.Property); err != nil {
+			return err
+		}
+	}
+
+	// Associations.
+	assocRoot, err := s.NewEntity(modelRoot, "associations")
+	if err != nil {
+		return err
+	}
+	for _, a := range m.Associations() {
+		ae, err := s.NewEntity(assocRoot, a.Name())
+		if err != nil {
+			return err
+		}
+		if err := typeOf(ae, MetaAssociation); err != nil {
+			return err
+		}
+		endA, endB := a.Ends()
+		if _, err := s.NewRelation(RelEndA, ae, classEnt[endA]); err != nil {
+			return err
+		}
+		if _, err := s.NewRelation(RelEndB, ae, classEnt[endB]); err != nil {
+			return err
+		}
+		for _, app := range a.Applications() {
+			se, ok := stereoEnt[app.Stereotype()]
+			if !ok {
+				return fmt.Errorf("importers: association %s applies stereotype %s from an unregistered profile",
+					a.Name(), app.Stereotype().Name())
+			}
+			if _, err := s.NewRelation(RelStereotype, ae, se); err != nil {
+				return err
+			}
+		}
+		var names []string
+		for _, app := range a.Applications() {
+			for _, def := range app.Stereotype().AllAttributes() {
+				names = append(names, def.Name)
+			}
+		}
+		if err := im.importAttributes(ae, names, a.Property); err != nil {
+			return err
+		}
+	}
+
+	// Object diagrams: instances and links.
+	diagramsRoot, err := s.NewEntity(modelRoot, "diagrams")
+	if err != nil {
+		return err
+	}
+	for _, d := range m.Diagrams() {
+		de, err := s.NewEntity(diagramsRoot, d.Name())
+		if err != nil {
+			return err
+		}
+		instEnt := make(map[string]*vpm.Entity, d.NumInstances())
+		for _, inst := range d.Instances() {
+			ie, err := s.NewEntity(de, inst.Name())
+			if err != nil {
+				return err
+			}
+			if err := typeOf(ie, MetaInstance); err != nil {
+				return err
+			}
+			if _, err := s.NewRelation(RelClassifier, ie, classEnt[inst.Classifier()]); err != nil {
+				return err
+			}
+			instEnt[inst.Name()] = ie
+		}
+		for _, l := range d.Links() {
+			a, b := l.Ends()
+			r, err := s.NewRelation(RelLink, instEnt[a.Name()], instEnt[b.Name()])
+			if err != nil {
+				return err
+			}
+			r.SetValue(l.Association().Name())
+		}
+	}
+
+	// Activities: atomic services become entities of the model space
+	// ("Also, atomic services are transformed into entities of the model
+	// space", Step 5).
+	activitiesRoot, err := s.NewEntity(modelRoot, "activities")
+	if err != nil {
+		return err
+	}
+	for _, act := range m.Activities() {
+		ae, err := s.NewEntity(activitiesRoot, act.Name())
+		if err != nil {
+			return err
+		}
+		if err := typeOf(ae, MetaActivity); err != nil {
+			return err
+		}
+		nodeEnt := make(map[*uml.ActivityNode]*vpm.Entity)
+		counters := map[uml.NodeKind]int{}
+		for _, n := range act.Nodes() {
+			var name, meta string
+			switch n.Kind() {
+			case uml.NodeAction:
+				name, meta = n.Name(), MetaAction
+			case uml.NodeInitial:
+				name, meta = "initial", MetaInitial
+			case uml.NodeFinal:
+				counters[uml.NodeFinal]++
+				name, meta = fmt.Sprintf("final%d", counters[uml.NodeFinal]), MetaFinal
+			case uml.NodeFork:
+				counters[uml.NodeFork]++
+				name, meta = fmt.Sprintf("fork%d", counters[uml.NodeFork]), MetaFork
+			case uml.NodeJoin:
+				counters[uml.NodeJoin]++
+				name, meta = fmt.Sprintf("join%d", counters[uml.NodeJoin]), MetaJoin
+			}
+			ne, err := s.NewEntity(ae, name)
+			if err != nil {
+				return err
+			}
+			if err := typeOf(ne, meta); err != nil {
+				return err
+			}
+			nodeEnt[n] = ne
+		}
+		for _, n := range act.Nodes() {
+			for _, tgt := range n.Outgoing() {
+				if _, err := s.NewRelation(RelFlow, nodeEnt[n], nodeEnt[tgt]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// importAttributes materialises named attribute values as child entities
+// typed Attribute, with the value as entity payload.
+func (im *UMLImporter) importAttributes(parent *vpm.Entity, names []string, get func(string) (uml.Value, bool)) error {
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		v, ok := get(n)
+		if !ok {
+			continue
+		}
+		ae, err := im.space.NewEntity(parent, n)
+		if err != nil {
+			return err
+		}
+		ae.SetValue(v.String())
+		if err := im.space.SetInstanceOf(ae, im.space.MustLookup(NSUMLMetamodel+"."+MetaAttribute)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstanceFQN returns the model-space FQN of an instance specification
+// imported from the named model and diagram.
+func InstanceFQN(model, diagram, instance string) string {
+	return NSModels + "." + model + ".diagrams." + diagram + "." + instance
+}
+
+// DiagramFQN returns the model-space FQN of an imported object diagram.
+func DiagramFQN(model, diagram string) string {
+	return NSModels + "." + model + ".diagrams." + diagram
+}
+
+// ClassFQN returns the model-space FQN of an imported class.
+func ClassFQN(model, class string) string {
+	return NSModels + "." + model + ".classes." + class
+}
+
+// ActivityFQN returns the model-space FQN of an imported activity.
+func ActivityFQN(model, activity string) string {
+	return NSModels + "." + model + ".activities." + activity
+}

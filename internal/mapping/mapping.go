@@ -1,0 +1,236 @@
+// Package mapping implements the service mapping of the UPSIM methodology
+// (Section V-A3): the association of every atomic service with a service
+// mapping pair — the (requester, provider) ICT components that bound the
+// part of the infrastructure the atomic service uses. The XML wire format
+// follows the paper's Figure 3:
+//
+//	<atomicservice id="atomic_service_1">
+//	    <requester id="component_a"></requester>
+//	    <provider id="component_b"></provider>
+//	</atomicservice>
+//
+// wrapped in a single <servicemapping> root element so that a file can carry
+// the pairs of several services ("Additional service mapping pairs could be
+// listed in the mapping file to support other services", Section VI-D).
+//
+// The mapping is the only model that must change when the user perspective
+// changes, which is the paper's key lever for dynamic environments; the
+// Remap helpers implement the mobility and migration scenarios of Section
+// V-A3.
+package mapping
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// Pair is one service mapping pair: an atomic service bound to the
+// requester and provider ICT components (instance names in the
+// infrastructure object diagram).
+type Pair struct {
+	AtomicService string
+	Requester     string
+	Provider      string
+}
+
+// Validate checks that all three identifiers are present and the pair does
+// not map a service onto a single component.
+func (p Pair) Validate() error {
+	if p.AtomicService == "" {
+		return fmt.Errorf("mapping: pair without atomic service id")
+	}
+	if p.Requester == "" {
+		return fmt.Errorf("mapping: pair %q without requester", p.AtomicService)
+	}
+	if p.Provider == "" {
+		return fmt.Errorf("mapping: pair %q without provider", p.AtomicService)
+	}
+	if p.Requester == p.Provider {
+		return fmt.Errorf("mapping: pair %q maps requester and provider to the same component %q",
+			p.AtomicService, p.Requester)
+	}
+	return nil
+}
+
+// String renders the pair as a Table-I style row.
+func (p Pair) String() string {
+	return fmt.Sprintf("%s: %s -> %s", p.AtomicService, p.Requester, p.Provider)
+}
+
+// Mapping is an ordered set of pairs keyed by atomic service name. The
+// atomic service is the unique key (Section VI-D: "the service mapping
+// should contain at least five pairs with their atomic service as unique
+// key").
+type Mapping struct {
+	pairs []Pair
+	index map[string]int
+}
+
+// New creates an empty mapping.
+func New() *Mapping {
+	return &Mapping{index: make(map[string]int)}
+}
+
+// Add inserts a pair. Re-adding an atomic service is an error; use Remap to
+// change an existing pair.
+func (m *Mapping) Add(p Pair) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.index[p.AtomicService]; dup {
+		return fmt.Errorf("mapping: duplicate atomic service %q", p.AtomicService)
+	}
+	m.index[p.AtomicService] = len(m.pairs)
+	m.pairs = append(m.pairs, p)
+	return nil
+}
+
+// Pair looks up the pair for an atomic service.
+func (m *Mapping) Pair(atomicService string) (Pair, bool) {
+	i, ok := m.index[atomicService]
+	if !ok {
+		return Pair{}, false
+	}
+	return m.pairs[i], true
+}
+
+// Pairs returns all pairs in insertion order.
+func (m *Mapping) Pairs() []Pair {
+	out := make([]Pair, len(m.pairs))
+	copy(out, m.pairs)
+	return out
+}
+
+// Len returns the number of pairs.
+func (m *Mapping) Len() int { return len(m.pairs) }
+
+// Remap replaces the requester and provider of an existing atomic service —
+// the minimal change needed to generate the UPSIM for a different user
+// perspective (Section VI-H: "we only have to make minor adjustments to the
+// service mapping").
+func (m *Mapping) Remap(atomicService, requester, provider string) error {
+	i, ok := m.index[atomicService]
+	if !ok {
+		return fmt.Errorf("mapping: unknown atomic service %q", atomicService)
+	}
+	p := Pair{AtomicService: atomicService, Requester: requester, Provider: provider}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.pairs[i] = p
+	return nil
+}
+
+// RemapComponent substitutes every occurrence of the component old (as
+// requester or provider) by new, returning the number of pairs changed.
+// This implements the mobility scenario (a user moves to a different client)
+// and the migration scenario (a service moves to a different provider) in
+// one primitive.
+func (m *Mapping) RemapComponent(old, new string) (int, error) {
+	if old == "" || new == "" {
+		return 0, fmt.Errorf("mapping: empty component name in remap")
+	}
+	changed := 0
+	for i, p := range m.pairs {
+		touched := false
+		if p.Requester == old {
+			p.Requester = new
+			touched = true
+		}
+		if p.Provider == old {
+			p.Provider = new
+			touched = true
+		}
+		if !touched {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			return changed, err
+		}
+		m.pairs[i] = p
+		changed++
+	}
+	return changed, nil
+}
+
+// Clone returns a deep copy, used to derive per-perspective mappings without
+// mutating the base.
+func (m *Mapping) Clone() *Mapping {
+	c := New()
+	for _, p := range m.pairs {
+		_ = c.Add(p)
+	}
+	return c
+}
+
+// Components returns the distinct component names referenced by the mapping
+// in first-use order (requesters and providers).
+func (m *Mapping) Components() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range m.pairs {
+		for _, c := range []string{p.Requester, p.Provider} {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// --- XML wire format (Figure 3) ---
+
+type xmlMapping struct {
+	XMLName xml.Name     `xml:"servicemapping"`
+	Pairs   []xmlService `xml:"atomicservice"`
+}
+
+type xmlService struct {
+	ID        string `xml:"id,attr"`
+	Requester xmlRef `xml:"requester"`
+	Provider  xmlRef `xml:"provider"`
+}
+
+type xmlRef struct {
+	ID string `xml:"id,attr"`
+}
+
+// Encode writes the mapping as indented XML in the Figure 3 dialect.
+func (m *Mapping) Encode(w io.Writer) error {
+	x := xmlMapping{}
+	for _, p := range m.pairs {
+		x.Pairs = append(x.Pairs, xmlService{
+			ID:        p.AtomicService,
+			Requester: xmlRef{ID: p.Requester},
+			Provider:  xmlRef{ID: p.Provider},
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return fmt.Errorf("mapping: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Parse reads a mapping from the Figure 3 XML dialect. Every pair is
+// validated; duplicate atomic services are rejected.
+func Parse(r io.Reader) (*Mapping, error) {
+	var x xmlMapping
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("mapping: parse: %w", err)
+	}
+	m := New()
+	for _, s := range x.Pairs {
+		if err := m.Add(Pair{
+			AtomicService: s.ID,
+			Requester:     s.Requester.ID,
+			Provider:      s.Provider.ID,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,229 @@
+// Package modelgen synthesises complete UML infrastructure models from
+// topology graphs: one class per node kind with the availability profile
+// applied, one stereotyped association per connectable class pair, and the
+// deployed object diagram. It is the bridge between the synthetic topology
+// generators (trees, campus networks, fat-trees) and the full Step 1–8
+// pipeline, and implements the paper's future-work direction: "More research
+// is needed to demonstrate the applicability of the methodology to complex
+// infrastructures such as cloud computing" — a generated fat-tree model runs
+// through generation and analysis exactly like the hand-modelled USI campus.
+package modelgen
+
+import (
+	"fmt"
+
+	"upsim/internal/topology"
+	"upsim/internal/uml"
+)
+
+// ClassParams carries the availability attributes of one node class.
+type ClassParams struct {
+	MTBF float64
+	MTTR float64
+}
+
+// Params parameterises Build.
+type Params struct {
+	// Classes maps node-class labels (topology.Node.Class) to their
+	// availability attributes. Labels absent from the map use Default.
+	Classes map[string]ClassParams
+	// Default applies to unmapped classes; zero value means MTBF 100000 h,
+	// MTTR 1 h.
+	Default ClassParams
+	// Link carries the connector attributes; zero value means MTBF 1e6 h,
+	// MTTR 0.1 h.
+	Link ClassParams
+	// LinkThroughput is the Communication.throughput value (default 1000).
+	LinkThroughput float64
+	// DiagramName names the object diagram (default "infrastructure").
+	DiagramName string
+}
+
+func (p *Params) normalise() {
+	if p.Default.MTBF == 0 {
+		p.Default.MTBF = 100000
+	}
+	if p.Default.MTTR == 0 {
+		p.Default.MTTR = 1
+	}
+	if p.Link.MTBF == 0 {
+		p.Link.MTBF = 1e6
+	}
+	if p.Link.MTTR == 0 {
+		p.Link.MTTR = 0.1
+	}
+	if p.LinkThroughput == 0 {
+		p.LinkThroughput = 1000
+	}
+	if p.DiagramName == "" {
+		p.DiagramName = "infrastructure"
+	}
+}
+
+// Build converts the graph into a validated UML model carrying the
+// availability profile (Figure 6) and a minimal network profile
+// (Communication with throughput). Parallel edges between the same node
+// pair receive dedicated associations so the object diagram keeps them
+// distinguishable.
+func Build(name string, g *topology.Graph, params Params) (*uml.Model, error) {
+	if g == nil {
+		return nil, fmt.Errorf("modelgen: nil graph")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("modelgen: empty model name")
+	}
+	params.normalise()
+
+	m := uml.NewModel(name)
+	avail := uml.NewProfile("availability")
+	comp, err := avail.DefineAbstractStereotype("Component", uml.MetaclassNone)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range []struct {
+		name string
+		kind uml.ValueKind
+	}{{"MTBF", uml.KindReal}, {"MTTR", uml.KindReal}} {
+		if err := comp.AddAttribute(a.name, a.kind); err != nil {
+			return nil, err
+		}
+	}
+	device, err := avail.DefineSubStereotype("Device", uml.MetaclassClass, comp)
+	if err != nil {
+		return nil, err
+	}
+	connector, err := avail.DefineSubStereotype("Connector", uml.MetaclassAssociation, comp)
+	if err != nil {
+		return nil, err
+	}
+	net := uml.NewProfile("network")
+	communication, err := net.DefineStereotype("Communication", uml.MetaclassAssociation)
+	if err != nil {
+		return nil, err
+	}
+	if err := communication.AddAttribute("throughput", uml.KindReal); err != nil {
+		return nil, err
+	}
+	if err := m.AddProfile(avail); err != nil {
+		return nil, err
+	}
+	if err := m.AddProfile(net); err != nil {
+		return nil, err
+	}
+
+	classes := make(map[string]*uml.Class)
+	classFor := func(label string) (*uml.Class, error) {
+		if label == "" {
+			label = "Node"
+		}
+		if c, ok := classes[label]; ok {
+			return c, nil
+		}
+		c, err := m.AddClass(label)
+		if err != nil {
+			return nil, err
+		}
+		app, err := c.Apply(device)
+		if err != nil {
+			return nil, err
+		}
+		cp, ok := params.Classes[label]
+		if !ok {
+			cp = params.Default
+		}
+		if err := app.Set("MTBF", uml.RealValue(cp.MTBF)); err != nil {
+			return nil, err
+		}
+		if err := app.Set("MTTR", uml.RealValue(cp.MTTR)); err != nil {
+			return nil, err
+		}
+		classes[label] = c
+		return c, nil
+	}
+
+	newAssoc := func(assocName string, a, b *uml.Class) (*uml.Association, error) {
+		as, err := m.AddAssociation(assocName, a, b)
+		if err != nil {
+			return nil, err
+		}
+		capp, err := as.Apply(connector)
+		if err != nil {
+			return nil, err
+		}
+		if err := capp.Set("MTBF", uml.RealValue(params.Link.MTBF)); err != nil {
+			return nil, err
+		}
+		if err := capp.Set("MTTR", uml.RealValue(params.Link.MTTR)); err != nil {
+			return nil, err
+		}
+		mapp, err := as.Apply(communication)
+		if err != nil {
+			return nil, err
+		}
+		if err := mapp.Set("throughput", uml.RealValue(params.LinkThroughput)); err != nil {
+			return nil, err
+		}
+		return as, nil
+	}
+
+	assocs := make(map[string]*uml.Association)
+	assocFor := func(a, b *uml.Class) (*uml.Association, error) {
+		x, y := a.Name(), b.Name()
+		if y < x {
+			x, y = y, x
+		}
+		key := x + "--" + y
+		if as, ok := assocs[key]; ok {
+			return as, nil
+		}
+		as, err := newAssoc(key, a, b)
+		if err != nil {
+			return nil, err
+		}
+		assocs[key] = as
+		return as, nil
+	}
+
+	d := m.NewObjectDiagram(params.DiagramName)
+	for _, n := range g.Nodes() {
+		cls, err := classFor(n.Class)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.AddInstance(n.Name, cls); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges() {
+		na, _ := g.Node(e.A)
+		nb, _ := g.Node(e.B)
+		ca, err := classFor(na.Class)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := classFor(nb.Class)
+		if err != nil {
+			return nil, err
+		}
+		as, err := assocFor(ca, cb)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.ConnectByName(e.A, e.B, as); err != nil {
+			// A parallel edge over an already-used association: give it a
+			// dedicated association so the redundant physical link stays a
+			// distinct model element.
+			extra, aerr := newAssoc(fmt.Sprintf("parallel-%d", e.ID), ca, cb)
+			if aerr != nil {
+				return nil, aerr
+			}
+			if _, err := d.ConnectByName(e.A, e.B, extra); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

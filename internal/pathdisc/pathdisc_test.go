@@ -1,0 +1,432 @@
+package pathdisc
+
+import (
+	"strings"
+	"testing"
+
+	"upsim/internal/topology"
+)
+
+// diamond builds the classic redundancy fixture:
+//
+//	  a
+//	 / \
+//	b   c
+//	 \ /
+//	  d
+func diamond(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(n, "N"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if _, err := g.AddEdge(e[0], e[1], ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAllPathsDiamond(t *testing.T) {
+	g := diamond(t)
+	paths, stats, err := AllPaths(g, "a", "d", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	want := map[string]bool{"a—b—d": true, "a—c—d": true}
+	for _, p := range paths {
+		if !want[p.String()] {
+			t.Errorf("unexpected path %s", p)
+		}
+	}
+	if stats.Paths != 2 || stats.EdgeVisits < 4 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.MaxStack < 2 {
+		t.Errorf("MaxStack = %d", stats.MaxStack)
+	}
+}
+
+func TestAllPathsCycleSafety(t *testing.T) {
+	// Ring of 5: exactly two simple paths between any two nodes.
+	g, err := topology.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _, err := AllPaths(g, "n0", "n2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("ring paths = %v", paths)
+	}
+}
+
+func TestAllPathsParallelEdges(t *testing.T) {
+	g := topology.New()
+	_ = g.AddNode("a", "")
+	_ = g.AddNode("b", "")
+	_, _ = g.AddEdge("a", "b", "l1")
+	_, _ = g.AddEdge("a", "b", "l2")
+	paths, _, err := AllPaths(g, "a", "b", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("parallel-edge paths = %d, want 2 (distinct edges)", len(paths))
+	}
+	if paths[0].Edges[0] == paths[1].Edges[0] {
+		t.Error("paths must use distinct edges")
+	}
+	collapsed, _, err := AllPaths(g, "a", "b", Options{CollapseParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collapsed) != 1 {
+		t.Fatalf("collapsed paths = %d, want 1", len(collapsed))
+	}
+}
+
+func TestAllPathsDepthBound(t *testing.T) {
+	g := diamond(t)
+	// Extend with a longer detour a-e-f-d.
+	for _, n := range []string{"e", "f"} {
+		_ = g.AddNode(n, "")
+	}
+	_, _ = g.AddEdge("a", "e", "")
+	_, _ = g.AddEdge("e", "f", "")
+	_, _ = g.AddEdge("f", "d", "")
+	all, _, _ := AllPaths(g, "a", "d", Options{})
+	if len(all) != 3 {
+		t.Fatalf("unbounded paths = %d, want 3", len(all))
+	}
+	bounded, _, _ := AllPaths(g, "a", "d", Options{MaxDepth: 2})
+	if len(bounded) != 2 {
+		t.Fatalf("depth-2 paths = %d, want 2", len(bounded))
+	}
+	for _, p := range bounded {
+		if p.Len() > 2 {
+			t.Errorf("path %s exceeds depth bound", p)
+		}
+	}
+}
+
+func TestAllPathsMaxPaths(t *testing.T) {
+	g, _ := topology.Mesh(7)
+	paths, stats, err := AllPaths(g, "n0", "n6", Options{MaxPaths: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 10 || !stats.Truncated {
+		t.Errorf("len = %d, truncated = %v", len(paths), stats.Truncated)
+	}
+	all, stats2, _ := AllPaths(g, "n0", "n6", Options{})
+	if stats2.Truncated {
+		t.Error("unbounded run must not be truncated")
+	}
+	// Mesh of 7: sum over k of P(5,k) simple paths between two fixed nodes:
+	// 1 + 5 + 20 + 60 + 120 + 120 = 326.
+	if len(all) != 326 {
+		t.Errorf("mesh(7) paths = %d, want 326", len(all))
+	}
+	// Truncated run must be a prefix of the full run.
+	for i, p := range paths {
+		if p.String() != all[i].String() {
+			t.Fatalf("truncated[%d] = %s, full = %s", i, p, all[i])
+		}
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := AllPaths(g, "ghost", "d", Options{}); err == nil {
+		t.Error("unknown requester should fail")
+	}
+	if _, _, err := AllPaths(g, "a", "ghost", Options{}); err == nil {
+		t.Error("unknown provider should fail")
+	}
+	if _, _, err := AllPaths(g, "a", "a", Options{}); err == nil {
+		t.Error("identical endpoints should fail")
+	}
+	if _, err := ShortestPath(g, "ghost", "a"); err == nil {
+		t.Error("shortest path endpoint validation missing")
+	}
+}
+
+func TestDisconnectedPair(t *testing.T) {
+	g := topology.New()
+	_ = g.AddNode("a", "")
+	_ = g.AddNode("b", "")
+	paths, stats, err := AllPaths(g, "a", "b", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 || stats.Paths != 0 {
+		t.Error("disconnected pair must yield zero paths without error")
+	}
+	if _, err := ShortestPath(g, "a", "b"); err == nil {
+		t.Error("shortest path on disconnected pair should fail")
+	}
+	// Parallel variant with zero branches.
+	pp, _, err := AllPathsParallel(g, "a", "b", Options{}, 4)
+	if err != nil || len(pp) != 0 {
+		t.Errorf("parallel disconnected = %v, %v", pp, err)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := diamond(t)
+	p, err := ShortestPath(g, "a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Nodes[0] != "a" || p.Nodes[2] != "d" {
+		t.Errorf("shortest = %s", p)
+	}
+	// Chain: the unique path.
+	c, _ := topology.Chain(6)
+	p, err = ShortestPath(c, "n0", "n5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "n0—n1—n2—n3—n4—n5" {
+		t.Errorf("chain shortest = %s", p)
+	}
+	if len(p.Edges) != len(p.Nodes)-1 {
+		t.Error("edge/node count mismatch")
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	graphs := map[string]*topology.Graph{}
+	if g, err := topology.Mesh(6); err == nil {
+		graphs["mesh6"] = g
+	}
+	if g, err := topology.Ring(8); err == nil {
+		graphs["ring8"] = g
+	}
+	if g, err := topology.RandomConnected(16, 0.06, 3); err == nil {
+		graphs["rand16"] = g
+	}
+	if g, err := topology.Campus(topology.CampusParams{
+		EdgeSwitches: 4, ClientsPerEdge: 2, ServersPerSwitch: 2, RedundantCore: true,
+	}); err == nil {
+		graphs["campus"] = g
+	}
+	for name, g := range graphs {
+		names := g.NodeNames()
+		src, dst := names[0], names[len(names)-1]
+		rec, _, err := AllPaths(g, src, dst, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		iter, _, err := AllPathsIterative(g, src, dst, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		par, _, err := AllPathsParallel(g, src, dst, Options{}, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !Equal(rec, iter) {
+			t.Errorf("%s: recursive and iterative path sets differ (%d vs %d)", name, len(rec), len(iter))
+		}
+		if !Equal(rec, par) {
+			t.Errorf("%s: recursive and parallel path sets differ (%d vs %d)", name, len(rec), len(par))
+		}
+		// Iterative emits the same sequence, not just the same set.
+		for i := range rec {
+			if rec[i].equalKey() != iter[i].equalKey() {
+				t.Errorf("%s: sequence differs at %d: %s vs %s", name, i, rec[i], iter[i])
+				break
+			}
+		}
+	}
+}
+
+func TestVariantsAgreeWithOptions(t *testing.T) {
+	g, err := topology.RandomConnected(18, 0.15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MaxDepth: 6, CollapseParallel: true}
+	rec, _, _ := AllPaths(g, "n0", "n17", opts)
+	iter, _, _ := AllPathsIterative(g, "n0", "n17", opts)
+	par, _, _ := AllPathsParallel(g, "n0", "n17", opts, 3)
+	if !Equal(rec, iter) || !Equal(rec, par) {
+		t.Errorf("variants disagree under options: %d/%d/%d", len(rec), len(iter), len(par))
+	}
+}
+
+func TestPathInvariants(t *testing.T) {
+	g, err := topology.RandomConnected(20, 0.06, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _, err := AllPaths(g, "n0", "n19", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if p.Nodes[0] != "n0" || p.Nodes[len(p.Nodes)-1] != "n19" {
+			t.Fatalf("path endpoints wrong: %s", p)
+		}
+		if len(p.Edges) != len(p.Nodes)-1 {
+			t.Fatalf("edge count wrong: %s", p)
+		}
+		seen := map[string]bool{}
+		for _, n := range p.Nodes {
+			if seen[n] {
+				t.Fatalf("node repeated in simple path: %s", p)
+			}
+			seen[n] = true
+		}
+		for i, id := range p.Edges {
+			e, ok := g.Edge(id)
+			if !ok {
+				t.Fatalf("path references unknown edge %d", id)
+			}
+			if e.Other(p.Nodes[i]) != p.Nodes[i+1] {
+				t.Fatalf("edge %d does not join %s and %s", id, p.Nodes[i], p.Nodes[i+1])
+			}
+		}
+	}
+}
+
+func TestNodeAndEdgeSets(t *testing.T) {
+	g := diamond(t)
+	paths, _, _ := AllPaths(g, "a", "d", Options{})
+	ns := NodeSet(paths)
+	if len(ns) != 4 {
+		t.Errorf("NodeSet = %v", ns)
+	}
+	es := EdgeSet(paths)
+	if len(es) != 4 {
+		t.Errorf("EdgeSet = %v", es)
+	}
+	if len(NodeSet(nil)) != 0 || len(EdgeSet(nil)) != 0 {
+		t.Error("empty path list must give empty sets")
+	}
+}
+
+func TestSortAndEqual(t *testing.T) {
+	a := Path{Nodes: []string{"a", "b"}, Edges: []int{0}}
+	b := Path{Nodes: []string{"a", "c", "b"}, Edges: []int{1, 2}}
+	c := Path{Nodes: []string{"a", "b"}, Edges: []int{3}} // parallel edge variant
+	ps := []Path{b, c, a}
+	Sort(ps)
+	if ps[0].Len() != 1 || ps[2].Len() != 2 {
+		t.Errorf("sort by length failed: %v", ps)
+	}
+	if !Equal([]Path{a, b}, []Path{b, a}) {
+		t.Error("Equal must be order independent")
+	}
+	if Equal([]Path{a}, []Path{c}) {
+		t.Error("paths over different edges are different")
+	}
+	if Equal([]Path{a}, []Path{a, b}) {
+		t.Error("different lengths are unequal")
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Nodes: []string{"t1", "e1", "d1", "c1", "d4", "printS"}, Edges: []int{0, 1, 2, 3, 4}}
+	if got := p.String(); got != "t1—e1—d1—c1—d4—printS" {
+		t.Errorf("String = %q", got)
+	}
+	if !strings.Contains(p.equalKey(), "|2|") {
+		t.Error("equalKey must embed edge IDs")
+	}
+}
+
+func TestParallelWorkerCounts(t *testing.T) {
+	g, _ := topology.Mesh(6)
+	want, _, _ := AllPaths(g, "n0", "n5", Options{})
+	for _, workers := range []int{-1, 0, 1, 2, 16, 100} {
+		got, _, err := AllPathsParallel(g, "n0", "n5", Options{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !Equal(want, got) {
+			t.Errorf("workers=%d: path set differs", workers)
+		}
+	}
+}
+
+func TestParallelMaxPathsPrefix(t *testing.T) {
+	g, _ := topology.Mesh(7)
+	full, _, _ := AllPaths(g, "n0", "n6", Options{})
+	trunc, stats, err := AllPathsParallel(g, "n0", "n6", Options{MaxPaths: 25}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trunc) != 25 || !stats.Truncated {
+		t.Fatalf("parallel truncation: %d paths, truncated=%v", len(trunc), stats.Truncated)
+	}
+	for i := range trunc {
+		if trunc[i].equalKey() != full[i].equalKey() {
+			t.Fatalf("parallel truncated result is not the sequential prefix at %d", i)
+		}
+	}
+}
+
+func TestCountPathsAgreesWithAllPaths(t *testing.T) {
+	graphs := map[string]*topology.Graph{}
+	if g, err := topology.Mesh(7); err == nil {
+		graphs["mesh7"] = g
+	}
+	if g, err := topology.RandomConnected(18, 0.08, 9); err == nil {
+		graphs["rand18"] = g
+	}
+	if g, err := topology.Ring(9); err == nil {
+		graphs["ring9"] = g
+	}
+	for name, g := range graphs {
+		names := g.NodeNames()
+		src, dst := names[0], names[len(names)-1]
+		for _, opts := range []Options{
+			{},
+			{MaxDepth: 5},
+			{CollapseParallel: true},
+			{MaxPaths: 7},
+		} {
+			paths, _, err := AllPaths(g, src, dst, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			count, stats, err := CountPaths(g, src, dst, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if count != len(paths) {
+				t.Errorf("%s %+v: CountPaths = %d, AllPaths = %d", name, opts, count, len(paths))
+			}
+			if stats.Paths != count {
+				t.Errorf("%s: stats.Paths = %d, count = %d", name, stats.Paths, count)
+			}
+			if opts.MaxPaths > 0 && count == opts.MaxPaths && !stats.Truncated {
+				t.Errorf("%s: truncation not reported", name)
+			}
+		}
+	}
+}
+
+func TestCountPathsValidation(t *testing.T) {
+	g := diamond(t)
+	if _, _, err := CountPaths(g, "ghost", "d", Options{}); err == nil {
+		t.Error("unknown endpoint should fail")
+	}
+	if _, _, err := CountPaths(g, "a", "a", Options{}); err == nil {
+		t.Error("identical endpoints should fail")
+	}
+	n, _, err := CountPaths(g, "a", "d", Options{})
+	if err != nil || n != 2 {
+		t.Errorf("diamond count = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package server exposes the UPSIM pipeline over HTTP as a small JSON API,
+// turning the library into the kind of network-management service the paper
+// targets ("Service networks; Service network management"): operations teams
+// can POST a model, a service and a mapping and get back the user-perceived
+// infrastructure and its availability for any (requester, provider) pair.
+//
+// Endpoints (all stateless; models travel in the request):
+//
+//	GET  /healthz                      liveness probe
+//	GET  /api/v1/casestudy/model       built-in USI model (XML)
+//	GET  /api/v1/casestudy/mapping     built-in Table I mapping (XML)
+//	POST /api/v1/paths                 all simple paths between two components
+//	POST /api/v1/generate              generate a UPSIM
+//	POST /api/v1/availability          generate + Section VII analysis
+//	POST /api/v1/qos                   performability + responsiveness
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"upsim/internal/casestudy"
+	"upsim/internal/core"
+	"upsim/internal/depend"
+	"upsim/internal/mapping"
+	"upsim/internal/pathdisc"
+	"upsim/internal/service"
+	"upsim/internal/uml"
+)
+
+// MaxRequestBytes bounds request bodies (models are small; 8 MiB is
+// generous).
+const MaxRequestBytes = 8 << 20
+
+// New returns the HTTP handler serving the API.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("GET /api/v1/casestudy/model", handleCaseStudyModel)
+	mux.HandleFunc("GET /api/v1/casestudy/mapping", handleCaseStudyMapping)
+	mux.HandleFunc("POST /api/v1/paths", handlePaths)
+	mux.HandleFunc("POST /api/v1/generate", handleGenerate)
+	mux.HandleFunc("POST /api/v1/availability", handleAvailability)
+	mux.HandleFunc("POST /api/v1/qos", handleQoS)
+	return mux
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleCaseStudyModel(w http.ResponseWriter, _ *http.Request) {
+	m, err := casestudy.BuildModel()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building case study: %v", err)
+		return
+	}
+	if _, err := casestudy.PrintingService(m); err != nil {
+		writeError(w, http.StatusInternalServerError, "building printing service: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := uml.Encode(&buf, m); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding model: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func handleCaseStudyMapping(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := casestudy.TableIMapping().Encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding mapping: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// modelInput is the common request fragment carrying the UML model.
+type modelInput struct {
+	// ModelXML is the model in the library's XML dialect.
+	ModelXML string `json:"modelXml"`
+	// Diagram names the infrastructure object diagram.
+	Diagram string `json:"diagram"`
+}
+
+func (in *modelInput) load() (*uml.Model, *core.Generator, error) {
+	if strings.TrimSpace(in.ModelXML) == "" {
+		return nil, nil, fmt.Errorf("modelXml is required")
+	}
+	if in.Diagram == "" {
+		return nil, nil, fmt.Errorf("diagram is required")
+	}
+	m, err := uml.Decode(strings.NewReader(in.ModelXML))
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, err := core.NewGenerator(m, in.Diagram)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, gen, nil
+}
+
+// pathsRequest asks for all simple paths between two components.
+type pathsRequest struct {
+	modelInput
+	From     string `json:"from"`
+	To       string `json:"to"`
+	MaxDepth int    `json:"maxDepth,omitempty"`
+	MaxPaths int    `json:"maxPaths,omitempty"`
+}
+
+// pathsResponse returns the enumeration.
+type pathsResponse struct {
+	Paths      []string `json:"paths"`
+	EdgeVisits int      `json:"edgeVisits"`
+	Truncated  bool     `json:"truncated"`
+}
+
+func handlePaths(w http.ResponseWriter, r *http.Request) {
+	var req pathsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	_, gen, err := req.load()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	paths, stats, err := pathdisc.AllPaths(gen.Graph(), req.From, req.To,
+		pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := pathsResponse{EdgeVisits: stats.EdgeVisits, Truncated: stats.Truncated}
+	for _, p := range paths {
+		resp.Paths = append(resp.Paths, p.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// generateRequest asks for a UPSIM.
+type generateRequest struct {
+	modelInput
+	// Service names an activity of the model.
+	Service string `json:"service"`
+	// MappingXML is the Figure 3 mapping document.
+	MappingXML string `json:"mappingXml"`
+	// Name names the generated UPSIM (default "upsim").
+	Name string `json:"name,omitempty"`
+	// AllowDisconnected tolerates unreachable pairs.
+	AllowDisconnected bool `json:"allowDisconnected,omitempty"`
+}
+
+func (req *generateRequest) generate() (*core.Result, error) {
+	_, gen, err := req.load()
+	if err != nil {
+		return nil, err
+	}
+	m := gen.Model()
+	act, ok := m.Activity(req.Service)
+	if !ok {
+		return nil, fmt.Errorf("model has no activity %q", req.Service)
+	}
+	svc, err := service.FromActivity(act)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := mapping.Parse(strings.NewReader(req.MappingXML))
+	if err != nil {
+		return nil, err
+	}
+	name := req.Name
+	if name == "" {
+		name = "upsim"
+	}
+	return gen.Generate(svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
+}
+
+// linkJSON is one UPSIM link.
+type linkJSON struct {
+	A           string `json:"a"`
+	B           string `json:"b"`
+	Association string `json:"association"`
+}
+
+// generateResponse returns the UPSIM.
+type generateResponse struct {
+	Name       string              `json:"name"`
+	Nodes      []string            `json:"nodes"`
+	Links      []linkJSON          `json:"links"`
+	Paths      map[string][]string `json:"pathsByService"`
+	TotalPaths int                 `json:"totalPaths"`
+}
+
+func handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := req.generate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := generateResponse{
+		Name:       res.Name,
+		Nodes:      res.NodeNames(),
+		Paths:      make(map[string][]string, len(res.Services)),
+		TotalPaths: res.TotalPaths,
+	}
+	for _, l := range res.UPSIM.Links() {
+		a, b := l.Ends()
+		resp.Links = append(resp.Links, linkJSON{A: a.Name(), B: b.Name(), Association: l.Association().Name()})
+	}
+	for _, sp := range res.Services {
+		var ps []string
+		for _, p := range sp.Paths {
+			ps = append(ps, p.String())
+		}
+		resp.Paths[sp.AtomicService] = ps
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// availabilityRequest asks for the Section VII analysis.
+type availabilityRequest struct {
+	generateRequest
+	// Formula1 selects the paper's approximation for component
+	// availability.
+	Formula1 bool `json:"formula1,omitempty"`
+	// MCSamples sets the Monte-Carlo sample count (default 100000).
+	MCSamples int `json:"mcSamples,omitempty"`
+	// Seed sets the Monte-Carlo seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// availabilityResponse returns the analysis report.
+type availabilityResponse struct {
+	Exact                float64 `json:"exact"`
+	RBDApprox            float64 `json:"rbdApprox"`
+	FTApprox             float64 `json:"ftApprox"`
+	MonteCarlo           float64 `json:"monteCarlo"`
+	MCStdErr             float64 `json:"mcStdErr"`
+	DowntimePerYearHours float64 `json:"downtimePerYearHours"`
+	Components           int     `json:"components"`
+}
+
+// qosRequest asks for the performability/responsiveness analysis.
+type qosRequest struct {
+	generateRequest
+	// MaxHops is the responsiveness hop budget (default 8).
+	MaxHops int `json:"maxHops,omitempty"`
+}
+
+// qosResponse returns both QoS properties.
+type qosResponse struct {
+	ThroughputMbps    float64 `json:"throughputMbps"`
+	MaxHops           int     `json:"maxHops"`
+	Responsiveness    float64 `json:"responsiveness"`
+	Availability      float64 `json:"availability"`
+	PathsWithinBudget int     `json:"pathsWithinBudget"`
+	PathsTotal        int     `json:"pathsTotal"`
+}
+
+func handleQoS(w http.ResponseWriter, r *http.Request) {
+	var req qosRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := req.generate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tp, err := depend.Throughput(res)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	hops := req.MaxHops
+	if hops <= 0 {
+		hops = 8
+	}
+	rr, err := depend.Responsiveness(res, depend.ModelExact, hops)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, qosResponse{
+		ThroughputMbps:    tp.Service,
+		MaxHops:           rr.MaxHops,
+		Responsiveness:    rr.Responsiveness,
+		Availability:      rr.Availability,
+		PathsWithinBudget: rr.PathsWithinBudget,
+		PathsTotal:        rr.PathsTotal,
+	})
+}
+
+func handleAvailability(w http.ResponseWriter, r *http.Request) {
+	var req availabilityRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := req.generate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model := depend.ModelExact
+	if req.Formula1 {
+		model = depend.ModelFormula1
+	}
+	samples := req.MCSamples
+	if samples <= 0 {
+		samples = 100000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep, err := depend.Analyze(res, model, samples, seed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, availabilityResponse{
+		Exact:                rep.Exact,
+		RBDApprox:            rep.RBDApprox,
+		FTApprox:             rep.FTApprox,
+		MonteCarlo:           rep.MonteCarlo,
+		MCStdErr:             rep.MCStdErr,
+		DowntimePerYearHours: rep.DowntimePerYearHours,
+		Components:           rep.Components,
+	})
+}

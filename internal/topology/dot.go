@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the graph in Graphviz DOT format. Nodes are labelled with
+// their object-diagram signature ("name:Class") and grouped by class via
+// fill colors, which makes generated UPSIMs directly comparable to the
+// paper's Figures 9, 11 and 12.
+func ToDOT(g *Graph, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", sanitizeID(title))
+	b.WriteString("  node [shape=box, style=filled, fontname=\"Helvetica\"];\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", title)
+	}
+
+	classes := map[string]bool{}
+	for _, n := range g.Nodes() {
+		classes[n.Class] = true
+	}
+	classList := make([]string, 0, len(classes))
+	for c := range classes {
+		classList = append(classList, c)
+	}
+	sort.Strings(classList)
+	color := map[string]string{}
+	palette := []string{
+		"#dbe9f6", "#e8f0d8", "#fdebd3", "#f6dbe9", "#e0e0e0",
+		"#d2f0ef", "#f0ead2", "#e9dbf6", "#f6e3db", "#dbf6e0",
+	}
+	for i, c := range classList {
+		color[c] = palette[i%len(palette)]
+	}
+
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %q [label=%q, fillcolor=%q];\n", n.Name, n.Signature(), color[n.Class])
+	}
+	for _, e := range g.Edges() {
+		if e.Label != "" {
+			fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", e.A, e.B, e.Label)
+		} else {
+			fmt.Fprintf(&b, "  %q -- %q;\n", e.A, e.B)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeID(s string) string {
+	if s == "" {
+		return "G"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,289 @@
+package uml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceSpecification is a UML instance of a class: one concrete network
+// node in an object diagram, e.g. "t1:Comp" or "printS:Server" (Figure 9).
+// Instances carry no attribute values of their own — Section V-A1 requires
+// classes to have only static attributes so that "two different instances of
+// the same class have also the same properties"; Property therefore delegates
+// to the classifier.
+type InstanceSpecification struct {
+	name       string
+	classifier *Class
+	model      *Model
+}
+
+// Name returns the instance name (e.g. "t1").
+func (i *InstanceSpecification) Name() string { return i.name }
+
+// Classifier returns the instantiated class.
+func (i *InstanceSpecification) Classifier() *Class { return i.classifier }
+
+// Model returns the owning model.
+func (i *InstanceSpecification) Model() *Model { return i.model }
+
+// Property reads a static attribute through the classifier, preserving the
+// paper's guarantee that a UPSIM element exposes exactly the properties of
+// the class it instantiates (Section V-E).
+func (i *InstanceSpecification) Property(name string) (Value, bool) {
+	return i.classifier.Property(name)
+}
+
+// HasStereotype reports whether the classifier carries the named stereotype.
+func (i *InstanceSpecification) HasStereotype(name string) bool {
+	return i.classifier.HasStereotype(name)
+}
+
+// Signature renders the instance as "name:Class", the form used throughout
+// the paper's object diagrams.
+func (i *InstanceSpecification) Signature() string {
+	return i.name + ":" + i.classifier.name
+}
+
+// String implements fmt.Stringer.
+func (i *InstanceSpecification) String() string { return i.Signature() }
+
+// Link is an instance of an association connecting two instance
+// specifications — one deployed communication link in the object diagram.
+type Link struct {
+	name        string
+	association *Association
+	a, b        *InstanceSpecification
+	model       *Model
+}
+
+// Name returns the link name (may be empty; links are usually anonymous in
+// the diagrams and identified by their endpoints).
+func (l *Link) Name() string { return l.name }
+
+// Association returns the association the link instantiates.
+func (l *Link) Association() *Association { return l.association }
+
+// Ends returns the two connected instances.
+func (l *Link) Ends() (*InstanceSpecification, *InstanceSpecification) { return l.a, l.b }
+
+// Connects reports whether the link joins the two given instances, in either
+// orientation.
+func (l *Link) Connects(x, y *InstanceSpecification) bool {
+	return (l.a == x && l.b == y) || (l.a == y && l.b == x)
+}
+
+// Other returns the opposite end of the link relative to the given instance,
+// or nil if the instance is not an endpoint.
+func (l *Link) Other(x *InstanceSpecification) *InstanceSpecification {
+	switch x {
+	case l.a:
+		return l.b
+	case l.b:
+		return l.a
+	}
+	return nil
+}
+
+// Property reads a static attribute of the link through its association
+// (e.g. the MTBF of a <<Connector>> link).
+func (l *Link) Property(name string) (Value, bool) {
+	return l.association.Property(name)
+}
+
+// Signature renders the link as "a--b (Association)".
+func (l *Link) Signature() string {
+	return l.a.name + "--" + l.b.name + " (" + l.association.name + ")"
+}
+
+// String implements fmt.Stringer.
+func (l *Link) String() string { return l.Signature() }
+
+// linkKey returns a canonical, orientation-independent key for a pair of
+// instance names, used for deduplication when merging paths into the UPSIM
+// ("multiple occurrences are ignored", Section VI-H).
+func linkKey(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// ObjectDiagram is a UML object diagram: a set of instance specifications
+// and links over the classes and associations of a model. The complete
+// infrastructure (Figure 9) and every generated UPSIM (Figures 11-12) are
+// object diagrams.
+type ObjectDiagram struct {
+	name      string
+	model     *Model
+	instances map[string]*InstanceSpecification
+	instOrder []string
+	links     []*Link
+	byPair    map[string][]*Link
+}
+
+// NewObjectDiagram creates an empty object diagram bound to a model.
+func (m *Model) NewObjectDiagram(name string) *ObjectDiagram {
+	d := &ObjectDiagram{
+		name:      name,
+		model:     m,
+		instances: make(map[string]*InstanceSpecification),
+		byPair:    make(map[string][]*Link),
+	}
+	m.diagrams = append(m.diagrams, d)
+	return d
+}
+
+// Name returns the diagram name.
+func (d *ObjectDiagram) Name() string { return d.name }
+
+// Model returns the model whose classes the diagram instantiates.
+func (d *ObjectDiagram) Model() *Model { return d.model }
+
+// AddInstance creates an instance of the given class in the diagram.
+// Instance names are unique per diagram.
+func (d *ObjectDiagram) AddInstance(name string, class *Class) (*InstanceSpecification, error) {
+	if name == "" {
+		return nil, fmt.Errorf("uml: diagram %s: empty instance name", d.name)
+	}
+	if class == nil {
+		return nil, fmt.Errorf("uml: diagram %s: instance %s: nil class", d.name, name)
+	}
+	if class.model != d.model {
+		return nil, fmt.Errorf("uml: diagram %s: instance %s: class %s belongs to another model",
+			d.name, name, class.name)
+	}
+	if _, dup := d.instances[name]; dup {
+		return nil, fmt.Errorf("uml: diagram %s: duplicate instance %s", d.name, name)
+	}
+	inst := &InstanceSpecification{name: name, classifier: class, model: d.model}
+	d.instances[name] = inst
+	d.instOrder = append(d.instOrder, name)
+	return inst, nil
+}
+
+// Instance looks up an instance by name.
+func (d *ObjectDiagram) Instance(name string) (*InstanceSpecification, bool) {
+	i, ok := d.instances[name]
+	return i, ok
+}
+
+// Instances returns all instances in insertion order.
+func (d *ObjectDiagram) Instances() []*InstanceSpecification {
+	out := make([]*InstanceSpecification, 0, len(d.instOrder))
+	for _, n := range d.instOrder {
+		out = append(out, d.instances[n])
+	}
+	return out
+}
+
+// InstanceNames returns the sorted instance names.
+func (d *ObjectDiagram) InstanceNames() []string {
+	out := make([]string, len(d.instOrder))
+	copy(out, d.instOrder)
+	sort.Strings(out)
+	return out
+}
+
+// NumInstances returns the number of instances.
+func (d *ObjectDiagram) NumInstances() int { return len(d.instances) }
+
+// NumLinks returns the number of links.
+func (d *ObjectDiagram) NumLinks() int { return len(d.links) }
+
+// Connect creates a link between two instances as an instance of the given
+// association. The association must join the classifiers of the two ends
+// ("the possibility for connections is ruled by those existing
+// associations", Section VI-B); a link duplicating an existing link over the
+// same association and endpoints is rejected.
+func (d *ObjectDiagram) Connect(a, b *InstanceSpecification, assoc *Association) (*Link, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("uml: diagram %s: link with nil end", d.name)
+	}
+	if a == b {
+		return nil, fmt.Errorf("uml: diagram %s: self-link on %s", d.name, a.name)
+	}
+	if assoc == nil {
+		return nil, fmt.Errorf("uml: diagram %s: link %s--%s: nil association", d.name, a.name, b.name)
+	}
+	if got, ok := d.instances[a.name]; !ok || got != a {
+		return nil, fmt.Errorf("uml: diagram %s: instance %s not in diagram", d.name, a.name)
+	}
+	if got, ok := d.instances[b.name]; !ok || got != b {
+		return nil, fmt.Errorf("uml: diagram %s: instance %s not in diagram", d.name, b.name)
+	}
+	if !assoc.Joins(a.classifier, b.classifier) {
+		return nil, fmt.Errorf("uml: diagram %s: association %s (%s--%s) cannot link %s and %s",
+			d.name, assoc.name, assoc.endA.name, assoc.endB.name, a.Signature(), b.Signature())
+	}
+	key := linkKey(a.name, b.name)
+	for _, l := range d.byPair[key] {
+		if l.association == assoc {
+			return nil, fmt.Errorf("uml: diagram %s: duplicate link %s over %s", d.name, key, assoc.name)
+		}
+	}
+	l := &Link{association: assoc, a: a, b: b, model: d.model}
+	d.links = append(d.links, l)
+	d.byPair[key] = append(d.byPair[key], l)
+	return l, nil
+}
+
+// ConnectByName is a convenience wrapper resolving both endpoints by name.
+func (d *ObjectDiagram) ConnectByName(a, b string, assoc *Association) (*Link, error) {
+	ia, ok := d.instances[a]
+	if !ok {
+		return nil, fmt.Errorf("uml: diagram %s: unknown instance %s", d.name, a)
+	}
+	ib, ok := d.instances[b]
+	if !ok {
+		return nil, fmt.Errorf("uml: diagram %s: unknown instance %s", d.name, b)
+	}
+	return d.Connect(ia, ib, assoc)
+}
+
+// Links returns all links in insertion order.
+func (d *ObjectDiagram) Links() []*Link {
+	out := make([]*Link, len(d.links))
+	copy(out, d.links)
+	return out
+}
+
+// LinksBetween returns all links connecting the two named instances,
+// regardless of orientation. Multiple links between the same pair model
+// redundant physical connections (the paper's core switches have "redundant
+// connections").
+func (d *ObjectDiagram) LinksBetween(a, b string) []*Link {
+	ls := d.byPair[linkKey(a, b)]
+	out := make([]*Link, len(ls))
+	copy(out, ls)
+	return out
+}
+
+// LinksOf returns all links incident to the named instance.
+func (d *ObjectDiagram) LinksOf(name string) []*Link {
+	var out []*Link
+	for _, l := range d.links {
+		if l.a.name == name || l.b.name == name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the sorted names of instances adjacent to the named one.
+func (d *ObjectDiagram) Neighbors(name string) []string {
+	seen := make(map[string]bool)
+	for _, l := range d.links {
+		switch name {
+		case l.a.name:
+			seen[l.b.name] = true
+		case l.b.name:
+			seen[l.a.name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package uml
+
+import (
+	"testing"
+)
+
+// diagramFixture creates a model with classes Comp and C6500, association
+// Comp-C6500, plus a switch-to-switch association, and an object diagram
+// with a few instances.
+func diagramFixture(t *testing.T) (*Model, *ObjectDiagram) {
+	t.Helper()
+	m, comp, sw, _ := testModel(t)
+	if _, err := m.AddAssociation("C6500-C6500", sw, sw); err != nil {
+		t.Fatal(err)
+	}
+	d := m.NewObjectDiagram("infra")
+	for _, n := range []string{"t1", "t2"} {
+		if _, err := d.AddInstance(n, comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"c1", "c2"} {
+		if _, err := d.AddInstance(n, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, d
+}
+
+func TestInstancePropertiesDelegateToClass(t *testing.T) {
+	_, d := diagramFixture(t)
+	t1, _ := d.Instance("t1")
+	if v, ok := t1.Property("MTBF"); !ok || v.AsReal() != 3000 {
+		t.Errorf("t1 MTBF = %v, %v", v, ok)
+	}
+	if !t1.HasStereotype("Device") || !t1.HasStereotype("Component") {
+		t.Error("instance must report classifier stereotypes")
+	}
+	if t1.Signature() != "t1:Comp" {
+		t.Errorf("Signature = %q", t1.Signature())
+	}
+	if t1.String() != "t1:Comp" {
+		t.Errorf("String = %q", t1.String())
+	}
+}
+
+func TestDiagramAddInstanceErrors(t *testing.T) {
+	m, d := diagramFixture(t)
+	comp := m.MustClass("Comp")
+	if _, err := d.AddInstance("t1", comp); err == nil {
+		t.Error("duplicate instance should fail")
+	}
+	if _, err := d.AddInstance("", comp); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := d.AddInstance("x", nil); err == nil {
+		t.Error("nil class should fail")
+	}
+	other := NewModel("other")
+	oc, _ := other.AddClass("C")
+	if _, err := d.AddInstance("y", oc); err == nil {
+		t.Error("class from another model should fail")
+	}
+}
+
+func TestConnectRespectsAssociations(t *testing.T) {
+	m, d := diagramFixture(t)
+	a, _ := m.Association("Comp-C6500")
+	ss, _ := m.Association("C6500-C6500")
+	l, err := d.ConnectByName("t1", "c1", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := l.Ends()
+	if ia.Name() != "t1" || ib.Name() != "c1" {
+		t.Errorf("link ends = %s, %s", ia, ib)
+	}
+	if _, err := d.ConnectByName("c1", "c2", ss); err != nil {
+		t.Fatal(err)
+	}
+	// t1 and t2 are both Comp; no association joins Comp with Comp.
+	if _, err := d.ConnectByName("t1", "t2", a); err == nil {
+		t.Error("link not ruled by an association must fail")
+	}
+	// Duplicate link over the same association.
+	if _, err := d.ConnectByName("c1", "t1", a); err == nil {
+		t.Error("duplicate link (reversed) should fail")
+	}
+	if _, err := d.ConnectByName("t1", "t1", a); err == nil {
+		t.Error("self link should fail")
+	}
+	if _, err := d.ConnectByName("ghost", "c1", a); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	if _, err := d.ConnectByName("t1", "ghost", a); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	t1, _ := d.Instance("t1")
+	c1, _ := d.Instance("c1")
+	if _, err := d.Connect(t1, c1, nil); err == nil {
+		t.Error("nil association should fail")
+	}
+	if _, err := d.Connect(nil, c1, a); err == nil {
+		t.Error("nil end should fail")
+	}
+}
+
+func TestRedundantLinksBetweenSamePair(t *testing.T) {
+	// The paper's core switches have redundant connections: two parallel
+	// links between the same pair require two distinct associations.
+	m, d := diagramFixture(t)
+	sw := m.MustClass("C6500")
+	ss, _ := m.Association("C6500-C6500")
+	ss2, err := m.AddAssociation("C6500-C6500-backup", sw, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ConnectByName("c1", "c2", ss); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ConnectByName("c1", "c2", ss2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.LinksBetween("c1", "c2")); got != 2 {
+		t.Errorf("LinksBetween = %d links, want 2", got)
+	}
+	if got := len(d.LinksBetween("c2", "c1")); got != 2 {
+		t.Errorf("LinksBetween reversed = %d links, want 2", got)
+	}
+}
+
+func TestLinkAccessors(t *testing.T) {
+	m, d := diagramFixture(t)
+	a, _ := m.Association("Comp-C6500")
+	l, err := d.ConnectByName("t1", "c1", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := d.Instance("t1")
+	c1, _ := d.Instance("c1")
+	t2, _ := d.Instance("t2")
+	if !l.Connects(t1, c1) || !l.Connects(c1, t1) {
+		t.Error("Connects must be orientation independent")
+	}
+	if l.Connects(t1, t2) {
+		t.Error("Connects(t1, t2) must be false")
+	}
+	if l.Other(t1) != c1 || l.Other(c1) != t1 {
+		t.Error("Other must return opposite end")
+	}
+	if l.Other(t2) != nil {
+		t.Error("Other of non-endpoint must be nil")
+	}
+	if v, ok := l.Property("MTBF"); !ok || v.AsReal() != 1000000 {
+		t.Errorf("link MTBF = %v, %v", v, ok)
+	}
+	if l.Association() != a {
+		t.Error("Association mismatch")
+	}
+	if l.Signature() != "t1--c1 (Comp-C6500)" {
+		t.Errorf("Signature = %q", l.Signature())
+	}
+}
+
+func TestDiagramTopologyQueries(t *testing.T) {
+	m, d := diagramFixture(t)
+	a, _ := m.Association("Comp-C6500")
+	ss, _ := m.Association("C6500-C6500")
+	mustConnect := func(x, y string, as *Association) {
+		t.Helper()
+		if _, err := d.ConnectByName(x, y, as); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConnect("t1", "c1", a)
+	mustConnect("t2", "c2", a)
+	mustConnect("c1", "c2", ss)
+	if d.NumInstances() != 4 || d.NumLinks() != 3 {
+		t.Errorf("counts = %d instances, %d links", d.NumInstances(), d.NumLinks())
+	}
+	got := d.Neighbors("c1")
+	want := []string{"c2", "t1"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Neighbors(c1) = %v, want %v", got, want)
+	}
+	if n := d.Neighbors("ghost"); len(n) != 0 {
+		t.Errorf("Neighbors(ghost) = %v", n)
+	}
+	if ls := d.LinksOf("c1"); len(ls) != 2 {
+		t.Errorf("LinksOf(c1) = %d, want 2", len(ls))
+	}
+	names := d.InstanceNames()
+	if len(names) != 4 || names[0] != "c1" || names[3] != "t2" {
+		t.Errorf("InstanceNames = %v", names)
+	}
+	insts := d.Instances()
+	if len(insts) != 4 || insts[0].Name() != "t1" {
+		t.Errorf("Instances (insertion order) = %v", insts)
+	}
+	if got, ok := m.Diagram("infra"); !ok || got != d {
+		t.Error("Diagram lookup failed")
+	}
+	if _, ok := m.Diagram("nope"); ok {
+		t.Error("unknown diagram should be absent")
+	}
+	if len(m.Diagrams()) != 1 {
+		t.Error("Diagrams should list one diagram")
+	}
+}

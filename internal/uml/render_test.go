@@ -1,0 +1,96 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderClass(t *testing.T) {
+	_, _, sw, _ := testModel(t)
+	out := RenderClass(sw)
+	for _, want := range []string{"<<Device>> C6500", "MTBF = 183498", "MTTR = 0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderClass missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderClassDiagram(t *testing.T) {
+	m, _, _, _ := testModel(t)
+	out := RenderClassDiagram(m)
+	for _, want := range []string{"Comp", "C6500", "Comp-C6500: Comp -- C6500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q", want)
+		}
+	}
+}
+
+func TestClassDiagramDOT(t *testing.T) {
+	m, _, _, _ := testModel(t)
+	dot := ClassDiagramDOT(m)
+	for _, want := range []string{
+		"graph classes {", "shape=record", "«Device»", "MTBF = 3000",
+		`"Comp" -- "C6500" [label="Comp-C6500"]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestEscapeRecord(t *testing.T) {
+	got := escapeRecord(`a{b}c|d<e>f"g`)
+	want := `a\{b\}c\|d\<e\>f\"g`
+	if got != want {
+		t.Errorf("escapeRecord = %q, want %q", got, want)
+	}
+}
+
+func TestActivityDOT(t *testing.T) {
+	m := NewModel("svc")
+	act := buildParallelActivity(t, m)
+	dot := ActivityDOT(act)
+	for _, want := range []string{
+		`digraph "parallel"`, "shape=circle", "doublecircle",
+		`label="Atomic Service 1"`, "->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("activity DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Fork/join bars present.
+	if strings.Count(dot, "height=0.08") != 2 {
+		t.Errorf("expected 2 fork/join bars:\n%s", dot)
+	}
+	// Flow count: 8 edges in the Figure 2 shape.
+	if strings.Count(dot, "->") != 8 {
+		t.Errorf("flow edges = %d, want 8", strings.Count(dot, "->"))
+	}
+}
+
+func TestRenderProfile(t *testing.T) {
+	p, _, _ := buildAvailabilityProfile(t)
+	out := RenderProfile(p)
+	for _, want := range []string{
+		"<<Component>> (abstract)", "MTBF:Real",
+		"<<Device>> : Component -> Class",
+		"<<Connector>> : Component -> Association",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := fullFixture(t)
+	s := Summary(m)
+	for _, want := range []string{
+		`model "test"`, "2 profiles", "2 classes", "1 associations",
+		"1 diagrams (2 instances, 1 links)", "2 activities",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

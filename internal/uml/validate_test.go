@@ -1,0 +1,116 @@
+package uml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateCompleteModel(t *testing.T) {
+	m := fullFixture(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateMissingStereotypeValue(t *testing.T) {
+	m, _, _, _ := testModel(t)
+	p, _ := m.Profile("availability")
+	dev, _ := p.Stereotype("Device")
+	c, _ := m.AddClass("Incomplete")
+	app, err := c.Apply(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Set("MTBF", RealValue(1000)); err != nil {
+		t.Fatal(err)
+	}
+	// MTTR and redundantComponents left unset: the availability analysis
+	// could not find the properties it needs, so the model is invalid.
+	err = m.Validate()
+	if err == nil {
+		t.Fatal("model with missing attribute values must be invalid")
+	}
+	ve, ok := AsValidationError(err)
+	if !ok {
+		t.Fatalf("error is not a ValidationError: %v", err)
+	}
+	if len(ve.Issues) != 2 {
+		t.Errorf("issues = %d, want 2 (MTTR, redundantComponents): %v", len(ve.Issues), ve.Issues)
+	}
+	for _, issue := range ve.Issues {
+		if !strings.Contains(issue.Element, "Incomplete") {
+			t.Errorf("issue element = %q, want class Incomplete", issue.Element)
+		}
+	}
+}
+
+func TestValidateMissingAssociationValue(t *testing.T) {
+	m, comp, sw, _ := testModel(t)
+	p, _ := m.Profile("availability")
+	conn, _ := p.Stereotype("Connector")
+	a, err := m.AddAssociation("bare", comp, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Apply(conn); err != nil {
+		t.Fatal(err)
+	}
+	err = m.Validate()
+	if err == nil {
+		t.Fatal("association with unset connector attributes must be invalid")
+	}
+	ve, _ := AsValidationError(err)
+	if len(ve.Issues) != 3 {
+		t.Errorf("issues = %d, want 3", len(ve.Issues))
+	}
+	if !strings.Contains(err.Error(), "3 issues") {
+		t.Errorf("aggregate error message = %q", err.Error())
+	}
+}
+
+func TestValidateBrokenActivity(t *testing.T) {
+	m, _, _, _ := testModel(t)
+	act, _ := m.NewActivity("broken")
+	if _, err := act.AddAction("floating"); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Validate()
+	if err == nil {
+		t.Fatal("model with invalid activity must be invalid")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error should name the activity: %v", err)
+	}
+}
+
+func TestValidateSingleIssueMessage(t *testing.T) {
+	m, _, _, _ := testModel(t)
+	act, _ := m.NewActivity("nofinal")
+	n, _ := act.AddAction("s")
+	_ = act.Flow(act.Initial(), n)
+	err := m.Validate()
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	if strings.Contains(err.Error(), "issues,") {
+		t.Errorf("single-issue message should be inlined: %q", err.Error())
+	}
+	if _, ok := AsValidationError(err); !ok {
+		t.Error("AsValidationError should match")
+	}
+}
+
+func TestAsValidationErrorNonMatch(t *testing.T) {
+	if _, ok := AsValidationError(nil); ok {
+		t.Error("nil error must not match")
+	}
+	if _, ok := AsValidationError(errPlain); ok {
+		t.Error("plain error must not match")
+	}
+}
+
+var errPlain = fmtError("plain")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }

@@ -1,0 +1,144 @@
+package uml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		v    Value
+		kind ValueKind
+		str  string
+	}{
+		{StringValue("C6500"), KindString, "C6500"},
+		{RealValue(183498), KindReal, "183498"},
+		{RealValue(0.5), KindReal, "0.5"},
+		{IntegerValue(-3), KindInteger, "-3"},
+		{BooleanValue(true), KindBoolean, "true"},
+		{Value{}, KindNone, ""},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Kind(); got != tt.kind {
+			t.Errorf("Kind(%v) = %v, want %v", tt.v, got, tt.kind)
+		}
+		if got := tt.v.String(); got != tt.str {
+			t.Errorf("String(%v) = %q, want %q", tt.v, got, tt.str)
+		}
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero Value should be IsZero")
+	}
+	if StringValue("").IsZero() {
+		t.Error("empty string value is a present value, not zero")
+	}
+	if RealValue(0).IsZero() {
+		t.Error("Real 0 is a present value, not zero")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := RealValue(2.5).AsReal(); got != 2.5 {
+		t.Errorf("AsReal = %v, want 2.5", got)
+	}
+	if got := IntegerValue(7).AsReal(); got != 7 {
+		t.Errorf("Integer widened AsReal = %v, want 7", got)
+	}
+	if got := RealValue(7.9).AsInteger(); got != 7 {
+		t.Errorf("Real truncated AsInteger = %v, want 7", got)
+	}
+	if got := IntegerValue(42).AsInteger(); got != 42 {
+		t.Errorf("AsInteger = %v, want 42", got)
+	}
+	if !BooleanValue(true).AsBoolean() {
+		t.Error("AsBoolean(true) = false")
+	}
+	if StringValue("true").AsBoolean() {
+		t.Error("AsBoolean of a string must be false")
+	}
+	if got := StringValue("x").AsString(); got != "x" {
+		t.Errorf("AsString = %q, want x", got)
+	}
+}
+
+func TestParseValueKind(t *testing.T) {
+	for _, k := range []ValueKind{KindString, KindReal, KindInteger, KindBoolean, KindNone} {
+		got, err := ParseValueKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseValueKind(%s): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseValueKind(%s) = %v", k, got)
+		}
+	}
+	if _, err := ParseValueKind("Complex"); err == nil {
+		t.Error("ParseValueKind(Complex) should fail")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		StringValue("hello world"),
+		RealValue(3.14159),
+		RealValue(-0.25),
+		IntegerValue(1 << 40),
+		BooleanValue(false),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.Kind(), v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind(), v.String(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	cases := []struct {
+		kind ValueKind
+		s    string
+	}{
+		{KindReal, "not-a-number"},
+		{KindInteger, "1.5"},
+		{KindBoolean, "maybe"},
+		{KindNone, "anything"},
+		{ValueKind(99), "x"},
+	}
+	for _, c := range cases {
+		if _, err := ParseValue(c.kind, c.s); err == nil {
+			t.Errorf("ParseValue(%v, %q) should fail", c.kind, c.s)
+		}
+	}
+}
+
+// Property: Real and Integer values always survive a String/Parse round trip.
+func TestValueRoundTripProperty(t *testing.T) {
+	realRT := func(r float64) bool {
+		v := RealValue(r)
+		got, err := ParseValue(KindReal, v.String())
+		return err == nil && got.AsReal() == r
+	}
+	if err := quick.Check(realRT, nil); err != nil {
+		t.Errorf("real round trip: %v", err)
+	}
+	intRT := func(i int64) bool {
+		v := IntegerValue(i)
+		got, err := ParseValue(KindInteger, v.String())
+		return err == nil && got.AsInteger() == i
+	}
+	if err := quick.Check(intRT, nil); err != nil {
+		t.Errorf("integer round trip: %v", err)
+	}
+	strRT := func(s string) bool {
+		got, err := ParseValue(KindString, s)
+		return err == nil && got.AsString() == s
+	}
+	if err := quick.Check(strRT, nil); err != nil {
+		t.Errorf("string round trip: %v", err)
+	}
+}

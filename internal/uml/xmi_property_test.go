@@ -1,0 +1,204 @@
+package uml
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomModel builds a structurally random but well-formed model from a
+// seeded RNG: a profile with random attributes, classes with random
+// stereotype values, associations over random class pairs, an object
+// diagram with random instances and association-respecting links, and a
+// random sequential activity.
+func randomModel(rng *rand.Rand) (*Model, error) {
+	m := NewModel(fmt.Sprintf("rand%d", rng.Intn(1000)))
+	p := NewProfile("prof")
+	comp, err := p.DefineAbstractStereotype("Base", MetaclassNone)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []ValueKind{KindString, KindReal, KindInteger, KindBoolean}
+	nAttrs := 1 + rng.Intn(4)
+	for i := 0; i < nAttrs; i++ {
+		if err := comp.AddAttribute(fmt.Sprintf("attr%d", i), kinds[rng.Intn(len(kinds))]); err != nil {
+			return nil, err
+		}
+	}
+	dev, err := p.DefineSubStereotype("Dev", MetaclassClass, comp)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := p.DefineSubStereotype("Conn", MetaclassAssociation, comp)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.AddProfile(p); err != nil {
+		return nil, err
+	}
+
+	randValue := func(k ValueKind) Value {
+		switch k {
+		case KindString:
+			return StringValue(fmt.Sprintf("s%d", rng.Intn(100)))
+		case KindReal:
+			return RealValue(float64(rng.Intn(10000)) / 8)
+		case KindInteger:
+			return IntegerValue(int64(rng.Intn(1 << 20)))
+		default:
+			return BooleanValue(rng.Intn(2) == 0)
+		}
+	}
+
+	nClasses := 1 + rng.Intn(5)
+	classes := make([]*Class, 0, nClasses)
+	for i := 0; i < nClasses; i++ {
+		c, err := m.AddClass(fmt.Sprintf("C%d", i))
+		if err != nil {
+			return nil, err
+		}
+		app, err := c.Apply(dev)
+		if err != nil {
+			return nil, err
+		}
+		for _, def := range dev.AllAttributes() {
+			if err := app.Set(def.Name, randValue(def.Kind)); err != nil {
+				return nil, err
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := c.SetProperty("owned", randValue(kinds[rng.Intn(len(kinds))])); err != nil {
+				return nil, err
+			}
+		}
+		classes = append(classes, c)
+	}
+
+	nAssocs := rng.Intn(2 * nClasses)
+	assocs := make([]*Association, 0, nAssocs)
+	for i := 0; i < nAssocs; i++ {
+		a, err := m.AddAssociation(fmt.Sprintf("A%d", i),
+			classes[rng.Intn(nClasses)], classes[rng.Intn(nClasses)])
+		if err != nil {
+			return nil, err
+		}
+		app, err := a.Apply(conn)
+		if err != nil {
+			return nil, err
+		}
+		for _, def := range conn.AllAttributes() {
+			if err := app.Set(def.Name, randValue(def.Kind)); err != nil {
+				return nil, err
+			}
+		}
+		assocs = append(assocs, a)
+	}
+
+	d := m.NewObjectDiagram("diag")
+	nInst := rng.Intn(8)
+	insts := make([]*InstanceSpecification, 0, nInst)
+	for i := 0; i < nInst; i++ {
+		inst, err := d.AddInstance(fmt.Sprintf("i%d", i), classes[rng.Intn(nClasses)])
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, inst)
+	}
+	for tries := 0; tries < 3*len(insts); tries++ {
+		if len(insts) < 2 {
+			break
+		}
+		a := insts[rng.Intn(len(insts))]
+		b := insts[rng.Intn(len(insts))]
+		if a == b {
+			continue
+		}
+		as, ok := m.AssociationBetween(a.Classifier(), b.Classifier())
+		if !ok {
+			continue
+		}
+		// Duplicate links over the same pair are rejected; ignore.
+		_, _ = d.Connect(a, b, as)
+	}
+
+	act, err := m.NewActivity("svc")
+	if err != nil {
+		return nil, err
+	}
+	prev := act.Initial()
+	for i := 0; i < 1+rng.Intn(5); i++ {
+		n, err := act.AddAction(fmt.Sprintf("step%d", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := act.Flow(prev, n); err != nil {
+			return nil, err
+		}
+		prev = n
+	}
+	if err := act.Flow(prev, act.AddFinal()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TestXMIRoundTripRandomModels: every random well-formed model survives the
+// encode/decode round trip with identical re-encoding, and decoded models
+// validate.
+func TestXMIRoundTripRandomModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130527)) // the paper's IPDPS year+month
+	for trial := 0; trial < 60; trial++ {
+		m, err := randomModel(rng)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: source invalid: %v", trial, err)
+		}
+		var b1 bytes.Buffer
+		if err := Encode(&b1, m); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		m2, err := Decode(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, b1.String())
+		}
+		if err := m2.Validate(); err != nil {
+			t.Fatalf("trial %d: decoded model invalid: %v", trial, err)
+		}
+		var b2 bytes.Buffer
+		if err := Encode(&b2, m2); err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("trial %d: round trip not stable", trial)
+		}
+		// Structural spot checks.
+		if len(m2.Classes()) != len(m.Classes()) ||
+			len(m2.Associations()) != len(m.Associations()) ||
+			len(m2.Activities()) != len(m.Activities()) {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		d1, _ := m.Diagram("diag")
+		d2, _ := m2.Diagram("diag")
+		if d1.NumInstances() != d2.NumInstances() || d1.NumLinks() != d2.NumLinks() {
+			t.Fatalf("trial %d: diagram differs: %d/%d vs %d/%d", trial,
+				d1.NumInstances(), d1.NumLinks(), d2.NumInstances(), d2.NumLinks())
+		}
+		// Every class property survives by value.
+		for _, c := range m.Classes() {
+			c2, ok := m2.Class(c.Name())
+			if !ok {
+				t.Fatalf("trial %d: class %s lost", trial, c.Name())
+			}
+			for _, pn := range c.PropertyNames() {
+				v1, _ := c.Property(pn)
+				v2, ok := c2.Property(pn)
+				if !ok || !v1.Equal(v2) {
+					t.Fatalf("trial %d: class %s property %s: %v vs %v", trial, c.Name(), pn, v1, v2)
+				}
+			}
+		}
+	}
+}

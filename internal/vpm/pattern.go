@@ -1,0 +1,293 @@
+package vpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file provides declarative graph-pattern matching over the model
+// space, replacing the declarative model queries of the VIATRA2 textual
+// command language (VTCL) the paper uses for Step 7: "This language is
+// especially useful in this methodology to implement the path discovery
+// algorithm."
+//
+// A pattern declares variables and constraints; Match enumerates all
+// bindings of variables to entities that satisfy every constraint, by
+// backtracking with candidate sets seeded from the most selective unary
+// constraint available per variable.
+
+// Binding maps pattern variable names to the entities they are bound to.
+type Binding map[string]*Entity
+
+// clone copies the binding so stored matches are immutable.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Constraint restricts the admissible bindings of one or two variables.
+type Constraint interface {
+	// vars returns the variables the constraint mentions.
+	vars() []string
+	// check evaluates the constraint under a (possibly partial) binding;
+	// it must return true when any mentioned variable is still unbound.
+	check(s *ModelSpace, b Binding) bool
+}
+
+// TypeOf constrains Var to be an instance of the entity at TypeFQN.
+type TypeOf struct {
+	Var     string
+	TypeFQN string
+}
+
+func (c TypeOf) vars() []string { return []string{c.Var} }
+
+func (c TypeOf) check(s *ModelSpace, b Binding) bool {
+	e, ok := b[c.Var]
+	if !ok {
+		return true
+	}
+	return e.IsInstanceOf(c.TypeFQN)
+}
+
+// Below constrains Var to lie strictly below the entity at AncestorFQN in
+// the containment tree.
+type Below struct {
+	Var         string
+	AncestorFQN string
+}
+
+func (c Below) vars() []string { return []string{c.Var} }
+
+func (c Below) check(s *ModelSpace, b Binding) bool {
+	e, ok := b[c.Var]
+	if !ok {
+		return true
+	}
+	anc, ok := s.Lookup(c.AncestorFQN)
+	if !ok {
+		return false
+	}
+	return e.IsDescendantOf(anc)
+}
+
+// ValueIs constrains Var's entity value to equal Value.
+type ValueIs struct {
+	Var   string
+	Value string
+}
+
+func (c ValueIs) vars() []string { return []string{c.Var} }
+
+func (c ValueIs) check(s *ModelSpace, b Binding) bool {
+	e, ok := b[c.Var]
+	if !ok {
+		return true
+	}
+	return e.Value() == c.Value
+}
+
+// NameIs constrains Var's local entity name.
+type NameIs struct {
+	Var  string
+	Name string
+}
+
+func (c NameIs) vars() []string { return []string{c.Var} }
+
+func (c NameIs) check(s *ModelSpace, b Binding) bool {
+	e, ok := b[c.Var]
+	if !ok {
+		return true
+	}
+	return e.Name() == c.Name
+}
+
+// Connected constrains a relation named Rel (any name if empty) to run from
+// From to To. If Directed is false the relation may run either way, which is
+// how undirected network links are queried.
+type Connected struct {
+	From     string
+	Rel      string
+	To       string
+	Directed bool
+}
+
+func (c Connected) vars() []string { return []string{c.From, c.To} }
+
+func (c Connected) check(s *ModelSpace, b Binding) bool {
+	from, okF := b[c.From]
+	to, okT := b[c.To]
+	if !okF || !okT {
+		return true
+	}
+	for _, r := range s.RelationsFrom(from, c.Rel) {
+		if r.to == to {
+			return true
+		}
+	}
+	if !c.Directed {
+		for _, r := range s.RelationsFrom(to, c.Rel) {
+			if r.to == from {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pattern is a named conjunction of constraints over a set of variables.
+// When Injective is set, distinct variables must bind distinct entities
+// (the common case for topological patterns).
+type Pattern struct {
+	Name        string
+	Vars        []string
+	Constraints []Constraint
+	Injective   bool
+}
+
+// Validate checks that every constraint only mentions declared variables.
+func (p *Pattern) Validate() error {
+	declared := make(map[string]bool, len(p.Vars))
+	for _, v := range p.Vars {
+		if v == "" {
+			return fmt.Errorf("vpm: pattern %s: empty variable name", p.Name)
+		}
+		if declared[v] {
+			return fmt.Errorf("vpm: pattern %s: duplicate variable %s", p.Name, v)
+		}
+		declared[v] = true
+	}
+	for _, c := range p.Constraints {
+		for _, v := range c.vars() {
+			if !declared[v] {
+				return fmt.Errorf("vpm: pattern %s: constraint mentions undeclared variable %s", p.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Match enumerates all bindings satisfying the pattern. The optional seed
+// pre-binds variables (pass nil for none); seeded variables keep their
+// binding in every result.
+func (p *Pattern) Match(s *ModelSpace, seed Binding) ([]Binding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for v := range seed {
+		found := false
+		for _, pv := range p.Vars {
+			if pv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("vpm: pattern %s: seed binds undeclared variable %s", p.Name, v)
+		}
+	}
+
+	// Candidate sets: seeded variables are fixed; otherwise use the most
+	// selective unary constraint (TypeOf via the instanceOf index, then
+	// Below via subtree walk), falling back to all entities.
+	candidates := make(map[string][]*Entity, len(p.Vars))
+	for _, v := range p.Vars {
+		if e, ok := seed[v]; ok {
+			candidates[v] = []*Entity{e}
+			continue
+		}
+		candidates[v] = p.candidatesFor(s, v)
+	}
+
+	// Order variables by ascending candidate count to fail fast.
+	order := make([]string, len(p.Vars))
+	copy(order, p.Vars)
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(candidates[order[i]]) < len(candidates[order[j]])
+	})
+
+	var out []Binding
+	b := make(Binding, len(p.Vars))
+	for k, v := range seed {
+		b[k] = v
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			out = append(out, b.clone())
+			return
+		}
+		v := order[i]
+		if _, pre := seed[v]; pre {
+			rec(i + 1)
+			return
+		}
+		for _, cand := range candidates[v] {
+			if p.Injective && bound(b, cand) {
+				continue
+			}
+			b[v] = cand
+			if p.consistent(s, b) {
+				rec(i + 1)
+			}
+			delete(b, v)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+func bound(b Binding, e *Entity) bool {
+	for _, x := range b {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pattern) consistent(s *ModelSpace, b Binding) bool {
+	for _, c := range p.Constraints {
+		if !c.check(s, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pattern) candidatesFor(s *ModelSpace, v string) []*Entity {
+	// Prefer TypeOf (cheap reverse index), then Below (subtree walk).
+	for _, c := range p.Constraints {
+		if t, ok := c.(TypeOf); ok && t.Var == v {
+			return s.InstancesOf(t.TypeFQN)
+		}
+	}
+	for _, c := range p.Constraints {
+		if bl, ok := c.(Below); ok && bl.Var == v {
+			anc, found := s.Lookup(bl.AncestorFQN)
+			if !found {
+				return nil
+			}
+			var out []*Entity
+			var rec func(e *Entity)
+			rec = func(e *Entity) {
+				for _, ch := range e.Children() {
+					out = append(out, ch)
+					rec(ch)
+				}
+			}
+			rec(anc)
+			return out
+		}
+	}
+	var out []*Entity
+	s.Walk(func(e *Entity) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,249 @@
+package vpm
+
+import (
+	"testing"
+)
+
+// topoFixture builds a small typed topology in the model space:
+//
+//	meta.Device, meta.Switch (types)
+//	net.{t1,t2} : Device, net.{c1,c2} : Switch
+//	links: t1--c1, t2--c2, c1--c2 (undirected "link" relations, stored
+//	one direction each)
+func topoFixture(t *testing.T) *ModelSpace {
+	t.Helper()
+	s := NewSpace()
+	dev, _ := s.EnsureEntity("meta.Device")
+	sw, _ := s.EnsureEntity("meta.Switch")
+	mk := func(name string, typ *Entity) *Entity {
+		e, err := s.EnsureEntity("net." + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetInstanceOf(e, typ); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	t1 := mk("t1", dev)
+	t2 := mk("t2", dev)
+	c1 := mk("c1", sw)
+	c2 := mk("c2", sw)
+	for _, pair := range [][2]*Entity{{t1, c1}, {t2, c2}, {c1, c2}} {
+		if _, err := s.NewRelation("link", pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestMatchTypeConstraint(t *testing.T) {
+	s := topoFixture(t)
+	p := &Pattern{
+		Name:        "devices",
+		Vars:        []string{"d"},
+		Constraints: []Constraint{TypeOf{"d", "meta.Device"}},
+	}
+	ms, err := p.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2", len(ms))
+	}
+	names := map[string]bool{}
+	for _, b := range ms {
+		names[b["d"].Name()] = true
+	}
+	if !names["t1"] || !names["t2"] {
+		t.Errorf("matched %v", names)
+	}
+}
+
+func TestMatchConnectedUndirected(t *testing.T) {
+	s := topoFixture(t)
+	// Every device connected to a switch, regardless of storage direction.
+	p := &Pattern{
+		Name: "dev-sw",
+		Vars: []string{"d", "s"},
+		Constraints: []Constraint{
+			TypeOf{"d", "meta.Device"},
+			TypeOf{"s", "meta.Switch"},
+			Connected{From: "d", Rel: "link", To: "s"},
+		},
+		Injective: true,
+	}
+	ms, err := p.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2 (t1-c1, t2-c2)", len(ms))
+	}
+	for _, b := range ms {
+		d, sw := b["d"].Name(), b["s"].Name()
+		if !(d == "t1" && sw == "c1") && !(d == "t2" && sw == "c2") {
+			t.Errorf("unexpected match %s-%s", d, sw)
+		}
+	}
+}
+
+func TestMatchDirectedConnected(t *testing.T) {
+	s := topoFixture(t)
+	// Directed: only the stored direction t1->c1 matches from the Device side.
+	p := &Pattern{
+		Name: "directed",
+		Vars: []string{"a", "b"},
+		Constraints: []Constraint{
+			TypeOf{"a", "meta.Switch"},
+			TypeOf{"b", "meta.Device"},
+			Connected{From: "a", Rel: "link", To: "b", Directed: true},
+		},
+	}
+	ms, err := p.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("directed switch->device matches = %d, want 0", len(ms))
+	}
+}
+
+func TestMatchSeed(t *testing.T) {
+	s := topoFixture(t)
+	c1 := s.MustLookup("net.c1")
+	p := &Pattern{
+		Name: "neighbors",
+		Vars: []string{"x", "n"},
+		Constraints: []Constraint{
+			Connected{From: "x", Rel: "link", To: "n"},
+		},
+		Injective: true,
+	}
+	ms, err := p.Match(s, Binding{"x": c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("neighbors of c1 = %d, want 2 (t1, c2)", len(ms))
+	}
+	for _, b := range ms {
+		if b["x"] != c1 {
+			t.Error("seed binding must be preserved")
+		}
+	}
+	// Seeding an undeclared variable is an error.
+	if _, err := p.Match(s, Binding{"ghost": c1}); err == nil {
+		t.Error("seed of undeclared variable should fail")
+	}
+}
+
+func TestMatchBelowAndNameValue(t *testing.T) {
+	s := topoFixture(t)
+	s.MustLookup("net.t1").SetValue("requester")
+	p := &Pattern{
+		Name: "below",
+		Vars: []string{"e"},
+		Constraints: []Constraint{
+			Below{"e", "net"},
+			ValueIs{"e", "requester"},
+		},
+	}
+	ms, err := p.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0]["e"].Name() != "t1" {
+		t.Errorf("matches = %v", ms)
+	}
+	p2 := &Pattern{
+		Name: "byname",
+		Vars: []string{"e"},
+		Constraints: []Constraint{
+			Below{"e", "net"},
+			NameIs{"e", "c2"},
+		},
+	}
+	ms2, err := p2.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms2) != 1 || ms2[0]["e"].FQN() != "net.c2" {
+		t.Errorf("byname matches = %v", ms2)
+	}
+	// Below of a missing ancestor matches nothing.
+	p3 := &Pattern{Name: "ghost", Vars: []string{"e"}, Constraints: []Constraint{Below{"e", "ghost"}}}
+	ms3, err := p3.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms3) != 0 {
+		t.Errorf("ghost subtree matches = %d", len(ms3))
+	}
+}
+
+func TestMatchInjectivity(t *testing.T) {
+	s := topoFixture(t)
+	pairs := &Pattern{
+		Name: "pairs",
+		Vars: []string{"a", "b"},
+		Constraints: []Constraint{
+			TypeOf{"a", "meta.Switch"},
+			TypeOf{"b", "meta.Switch"},
+		},
+	}
+	ms, err := pairs.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Errorf("non-injective pairs = %d, want 4", len(ms))
+	}
+	pairs.Injective = true
+	ms, err = pairs.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("injective pairs = %d, want 2", len(ms))
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	bad := &Pattern{
+		Name:        "bad",
+		Vars:        []string{"a"},
+		Constraints: []Constraint{TypeOf{"ghost", "meta.Device"}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("undeclared variable should fail validation")
+	}
+	dup := &Pattern{Name: "dup", Vars: []string{"a", "a"}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate variable should fail validation")
+	}
+	empty := &Pattern{Name: "empty", Vars: []string{""}}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty variable should fail validation")
+	}
+	if _, err := bad.Match(NewSpace(), nil); err == nil {
+		t.Error("Match must validate first")
+	}
+}
+
+func TestMatchFallbackCandidates(t *testing.T) {
+	// A variable with no unary constraint enumerates all entities.
+	s := topoFixture(t)
+	p := &Pattern{
+		Name: "all",
+		Vars: []string{"e"},
+	}
+	ms, err := p.Match(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// meta + meta.Device + meta.Switch + net + 4 nodes = 8 entities.
+	if len(ms) != 8 {
+		t.Errorf("all-entity matches = %d, want 8", len(ms))
+	}
+}

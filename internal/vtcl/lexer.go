@@ -1,0 +1,260 @@
+// Package vtcl implements a small textual pattern language over the VPM
+// model space, standing in for the VIATRA2 textual command language the
+// paper uses for declarative model queries (Section V-C: "It is based on
+// mathematical formalisms and provides declarative model queries and
+// manipulation"). A pattern file declares named graph patterns:
+//
+//	// requester candidates: instances named like the mapping entry
+//	pattern requester(R) = {
+//	    instanceOf(R, "metamodel.uml.InstanceSpecification");
+//	    below(R, "models.usi.diagrams.infrastructure");
+//	    name(R, "t1");
+//	}
+//
+//	pattern linkedPair(A, B) = {
+//	    instanceOf(A, "metamodel.uml.InstanceSpecification");
+//	    instanceOf(B, "metamodel.uml.InstanceSpecification");
+//	    connected(A, "link", B);
+//	    injective;
+//	}
+//
+// Statements map 1:1 onto vpm constraints: instanceOf → TypeOf, below →
+// Below, name → NameIs, value → ValueIs, connected → undirected Connected,
+// directed → directed Connected; the bare word "injective" makes distinct
+// variables bind distinct entities. Parsed patterns are ordinary
+// *vpm.Pattern values and run against any model space.
+package vtcl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token types.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokEquals
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokEquals:
+		return "'='"
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("vtcl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src)+1 && l.pos < len(l.src) {
+				if l.peek() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peek()
+	switch c {
+	case '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case '=':
+		l.advance()
+		return token{kind: tokEquals, text: "=", line: line, col: col}, nil
+	case '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errAt(line, col, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, errAt(line, col, "unterminated escape in string literal")
+				}
+				esc := l.advance()
+				switch esc {
+				case '"', '\\':
+					b.WriteByte(esc)
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					return token{}, errAt(l.line, l.col-1, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return token{}, errAt(line, col, "newline in string literal")
+			}
+			b.WriteByte(ch)
+		}
+	}
+	if isIdentStart(c) {
+		var b strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: line, col: col}, nil
+	}
+	return token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+// tokenize lexes the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package upsim generates and analyses user-perceived service
+// infrastructure models (UPSIMs), reproducing Dittrich, Kaitovic, Murillo
+// and Rezende, "A Model for Evaluation of User-Perceived Service
+// Properties" (IPDPS Workshops 2013).
+//
+// A UPSIM is the part of an ICT infrastructure that one specific pair of
+// service requester and provider actually uses: given a UML-style model of
+// the network (classes with static MTBF/MTTR attributes via profiles, an
+// object diagram for the deployed topology), a composite service described
+// as an activity diagram over atomic services, and an XML mapping binding
+// every atomic service to a (requester, provider) pair, the Generator
+// discovers all simple paths per atomic service and merges them into a new
+// object diagram whose elements keep all class properties — ready for
+// user-perceived dependability analysis (availability via reliability block
+// diagrams, fault trees, exact structure-function evaluation and Monte
+// Carlo simulation).
+//
+// The package is a facade over the implementation packages under internal/;
+// it re-exports the model types and wires the common workflows:
+//
+//	m, _ := upsim.USIModel()                  // or build/load your own
+//	svc, _ := upsim.USIPrintingService(m)
+//	gen, _ := upsim.NewGenerator(m, upsim.USIDiagramName)
+//	res, _ := gen.Generate(svc, upsim.USITableIMapping(), "t1-to-p2", upsim.Options{})
+//	rep, _ := upsim.Analyze(res, upsim.ModelExact, 100000, 1)
+//	fmt.Println(res.NodeNames(), rep.Exact)
+package upsim
+
+import (
+	"bytes"
+	"io"
+
+	"upsim/internal/casestudy"
+	"upsim/internal/core"
+	"upsim/internal/depend"
+	"upsim/internal/mapping"
+	"upsim/internal/modelgen"
+	"upsim/internal/pathdisc"
+	"upsim/internal/rbdgen"
+	"upsim/internal/service"
+	"upsim/internal/topology"
+	"upsim/internal/uml"
+	"upsim/internal/vpm"
+	"upsim/internal/vtcl"
+	"upsim/internal/workspace"
+)
+
+// UML model building blocks (see the uml implementation package for full
+// documentation of each type).
+type (
+	// Model is the root UML model container: profiles, classes,
+	// associations, object diagrams and activities.
+	Model = uml.Model
+	// Profile groups stereotypes, e.g. the availability profile.
+	Profile = uml.Profile
+	// Stereotype extends the Class or Association metaclass with typed
+	// attributes.
+	Stereotype = uml.Stereotype
+	// Class describes one ICT component type with static attributes.
+	Class = uml.Class
+	// Association is a possible connection between two component classes.
+	Association = uml.Association
+	// ObjectDiagram is a deployed topology (and the UPSIM output form).
+	ObjectDiagram = uml.ObjectDiagram
+	// InstanceSpecification is one deployed component ("t1:Comp").
+	InstanceSpecification = uml.InstanceSpecification
+	// Link is one deployed connection between two instances.
+	Link = uml.Link
+	// Activity is a composite-service description as a flow of actions.
+	Activity = uml.Activity
+	// Value is a typed UML attribute value.
+	Value = uml.Value
+)
+
+// Service and mapping types.
+type (
+	// Composite is a validated composite service over an activity diagram.
+	Composite = service.Composite
+	// Mapping binds atomic services to (requester, provider) pairs.
+	Mapping = mapping.Mapping
+	// Pair is one service mapping pair.
+	Pair = mapping.Pair
+)
+
+// Generation pipeline types.
+type (
+	// Generator runs Steps 5–8 of the methodology.
+	Generator = core.Generator
+	// Options tunes path discovery and merge semantics.
+	Options = core.Options
+	// Result is one generated UPSIM with its per-service path sets.
+	Result = core.Result
+	// ServicePaths is the Step 7 output for one atomic service.
+	ServicePaths = core.ServicePaths
+	// Path is one simple requester→provider path.
+	Path = pathdisc.Path
+	// PathOptions tunes path enumeration (depth/count bounds).
+	PathOptions = pathdisc.Options
+	// PathStats reports the search effort of one enumeration.
+	PathStats = pathdisc.Stats
+	// Graph is the topology view used by path discovery.
+	Graph = topology.Graph
+)
+
+// AllPaths enumerates all simple paths between two components of a topology
+// graph using the paper's DFS with path tracking.
+func AllPaths(g *Graph, from, to string, opts PathOptions) ([]Path, PathStats, error) {
+	return pathdisc.AllPaths(g, from, to, opts)
+}
+
+// CountPaths counts all simple paths without storing them — the memory-safe
+// choice for the dense-graph scalability studies.
+func CountPaths(g *Graph, from, to string, opts PathOptions) (int, PathStats, error) {
+	return pathdisc.CountPaths(g, from, to, opts)
+}
+
+// UPSIMDiff describes how the user-perceived infrastructure changes between
+// two generated UPSIMs (added/removed/kept components and links).
+type UPSIMDiff = core.Diff
+
+// CompareResults diffs two generation results — the operational view of the
+// paper's dynamicity scenarios (which components enter and leave a user's
+// perceived infrastructure when they move or a service migrates).
+func CompareResults(from, to *Result) (*UPSIMDiff, error) { return core.Compare(from, to) }
+
+// Pattern is a declarative graph pattern over the model space.
+type Pattern = vpm.Pattern
+
+// ParsePatterns parses a VTCL-style pattern file (see internal/vtcl) into
+// executable model-space patterns.
+func ParsePatterns(src string) ([]*Pattern, error) { return vtcl.Parse(src) }
+
+// PatternBinding maps pattern variables to matched model-space entities.
+type PatternBinding = vpm.Binding
+
+// GenerateRBD materialises the reliability-block-diagram model of a
+// generated UPSIM inside the generator's model space (the companion
+// transformation "[20]" of the paper) and returns the RBD root entity
+// together with its evaluatable block form. avail maps device names to
+// availabilities (see StructureOf for the full component model including
+// connectors).
+func GenerateRBD(gen *Generator, upsimName string, avail map[string]float64) (*RBDEntity, Block, error) {
+	root, err := rbdgen.Transform(gen.Space(), upsimName, avail)
+	if err != nil {
+		return nil, nil, err
+	}
+	block, err := rbdgen.ToBlock(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, block, nil
+}
+
+// RBDEntity is a node of the generated RBD model tree.
+type RBDEntity = vpm.Entity
+
+// RenderRBD prints an RBD model tree as an indented diagram.
+func RenderRBD(root *RBDEntity) string { return rbdgen.Render(root) }
+
+// ThroughputReport is the performability analysis of a UPSIM (Section VII's
+// "performability"): widest-path bottleneck throughput per atomic service
+// and end to end.
+type ThroughputReport = depend.ThroughputReport
+
+// AnalyzeThroughput computes the performability report from the
+// Communication profile's throughput attributes on the traversed links.
+func AnalyzeThroughput(res *Result) (*ThroughputReport, error) { return depend.Throughput(res) }
+
+// ResponsivenessReport relates timely delivery under a hop budget to plain
+// availability (Section VII's "responsiveness").
+type ResponsivenessReport = depend.ResponsivenessReport
+
+// AnalyzeResponsiveness computes the probability of timely service delivery
+// for a hop budget: the availability over budget-respecting paths only.
+func AnalyzeResponsiveness(res *Result, model depend.AvailabilityModel, maxHops int) (*ResponsivenessReport, error) {
+	return depend.Responsiveness(res, model, maxHops)
+}
+
+// SensitivityReport ranks component classes by how much a class-wide MTBF
+// or MTTR change moves the user-perceived availability (the paper's
+// "changes ... in the class description ... reflect to all objects" lever).
+type SensitivityReport = depend.SensitivityReport
+
+// AnalyzeSensitivity computes the class-level availability sensitivities of
+// a generated UPSIM.
+func AnalyzeSensitivity(res *Result) (*SensitivityReport, error) { return depend.Sensitivity(res) }
+
+// Workspace is an on-disk project directory: model.xml plus per-perspective
+// mapping files and VTCL pattern files (the Eclipse-workspace analogue).
+type Workspace = workspace.Workspace
+
+// InitWorkspace creates the project layout in dir and writes the model.
+func InitWorkspace(dir string, m *Model) (*Workspace, error) { return workspace.Init(dir, m) }
+
+// LoadWorkspace opens and validates a project directory.
+func LoadWorkspace(dir string) (*Workspace, error) { return workspace.Load(dir) }
+
+// BuildModelFromTopology synthesises a complete, validated UML model from a
+// topology graph (one class per node kind with the availability profile
+// applied) — the bridge for running generated topologies such as fat-trees
+// through the full pipeline.
+func BuildModelFromTopology(name string, g *Graph, params modelgen.Params) (*Model, error) {
+	return modelgen.Build(name, g, params)
+}
+
+// TopologyParams re-exports the modelgen parameters.
+type TopologyParams = modelgen.Params
+
+// TopologyClassParams carries per-class MTBF/MTTR for BuildModelFromTopology.
+type TopologyClassParams = modelgen.ClassParams
+
+// Dependability analysis types.
+type (
+	// ServiceStructure is the availability structure function of a service.
+	ServiceStructure = depend.ServiceStructure
+	// Report is the end-to-end availability analysis of one UPSIM.
+	Report = depend.Report
+	// Block is an RBD node (Basic, Series, Parallel, KofN).
+	Block = depend.Block
+	// FTNode is a fault-tree node (BasicEvent, AndGate, OrGate, VoteGate).
+	FTNode = depend.FTNode
+)
+
+// Algorithm and merge-semantics selectors for Options.
+const (
+	AlgoRecursive = core.AlgoRecursive
+	AlgoIterative = core.AlgoIterative
+	AlgoParallel  = core.AlgoParallel
+	AlgoShortest  = core.AlgoShortest
+
+	MergeInduced   = core.MergeInduced
+	MergeTraversed = core.MergeTraversed
+)
+
+// Availability-model selectors for Analyze.
+const (
+	// ModelExact derives component availability as MTBF/(MTBF+MTTR).
+	ModelExact = depend.ModelExact
+	// ModelFormula1 uses the paper's Formula 1, 1 − MTTR/MTBF.
+	ModelFormula1 = depend.ModelFormula1
+)
+
+// NewModel creates an empty UML model.
+func NewModel(name string) *Model { return uml.NewModel(name) }
+
+// NewProfile creates an empty UML profile.
+func NewProfile(name string) *Profile { return uml.NewProfile(name) }
+
+// ReadModel decodes a model from the XML dialect written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) { return uml.Decode(r) }
+
+// WriteModel encodes a model as XML.
+func WriteModel(w io.Writer, m *Model) error { return uml.Encode(w, m) }
+
+// CloneModel deep-copies a model through its canonical serialisation, so
+// what-if edits (failure injection, topology changes) can run against a copy
+// while the original stays pristine.
+func CloneModel(m *Model) (*Model, error) {
+	var buf bytes.Buffer
+	if err := uml.Encode(&buf, m); err != nil {
+		return nil, err
+	}
+	return uml.Decode(&buf)
+}
+
+// NewMapping creates an empty service mapping.
+func NewMapping() *Mapping { return mapping.New() }
+
+// ReadMapping decodes a service mapping from the paper's Figure 3 XML
+// dialect.
+func ReadMapping(r io.Reader) (*Mapping, error) { return mapping.Parse(r) }
+
+// WriteMapping encodes a service mapping as XML.
+func WriteMapping(w io.Writer, m *Mapping) error { return m.Encode(w) }
+
+// NewSequentialService builds a strictly sequential composite service.
+func NewSequentialService(m *Model, name string, atomics ...string) (*Composite, error) {
+	return service.NewSequential(m, name, atomics...)
+}
+
+// NewStagedService builds a composite service from execution stages; the
+// atomic services of one stage run in parallel between fork and join.
+func NewStagedService(m *Model, name string, stages [][]string) (*Composite, error) {
+	return service.NewStaged(m, name, stages)
+}
+
+// ServiceFromActivity wraps an existing activity diagram as a composite
+// service.
+func ServiceFromActivity(act *Activity) (*Composite, error) {
+	return service.FromActivity(act)
+}
+
+// NewGenerator imports the model into a fresh model space (Step 5) and
+// prepares generation against the named infrastructure object diagram.
+func NewGenerator(m *Model, diagramName string) (*Generator, error) {
+	return core.NewGenerator(m, diagramName)
+}
+
+// Analyze runs the Section VII dependability analysis on a generated UPSIM:
+// per-component availability from MTBF/MTTR, exact structure-function
+// evaluation, RBD and fault-tree approximations, and a Monte-Carlo check.
+func Analyze(res *Result, model depend.AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	return depend.Analyze(res, model, mcSamples, seed)
+}
+
+// StructureOf extracts the service structure function and component
+// availability table from a generated UPSIM for custom analysis.
+func StructureOf(res *Result, model depend.AvailabilityModel) (*ServiceStructure, map[string]float64, error) {
+	return depend.FromResult(res, model)
+}
+
+// Availability returns MTBF/(MTBF+MTTR).
+func Availability(mtbf, mttr float64) (float64, error) { return depend.Availability(mtbf, mttr) }
+
+// AvailabilityFormula1 returns the paper's approximation 1 − MTTR/MTBF.
+func AvailabilityFormula1(mtbf, mttr float64) (float64, error) {
+	return depend.AvailabilityFormula1(mtbf, mttr)
+}
+
+// ToDOT renders a topology graph (infrastructure or UPSIM) as Graphviz DOT.
+func ToDOT(g *Graph, title string) string { return topology.ToDOT(g, title) }
+
+// --- Case study (Section VI): the USI service network ---
+
+// USIDiagramName is the name of the infrastructure object diagram in the
+// case-study model.
+const USIDiagramName = casestudy.DiagramName
+
+// USIModel builds the University of Lugano case-study model: availability
+// and network profiles (Figures 6–7), component classes (Figure 8) and the
+// campus topology (Figures 5/9).
+func USIModel() (*Model, error) { return casestudy.BuildModel() }
+
+// USIPrintingService models the Figure 10 printing service in the given
+// model.
+func USIPrintingService(m *Model) (*Composite, error) { return casestudy.PrintingService(m) }
+
+// USIBackupService models the auxiliary backup composite service.
+func USIBackupService(m *Model) (*Composite, error) { return casestudy.BackupService(m) }
+
+// USITableIMapping returns the Table I mapping (client t1, printer p2,
+// server printS).
+func USITableIMapping() *Mapping { return casestudy.TableIMapping() }
+
+// USIT15P3Mapping returns the second perspective of Section VI-H (client
+// t15, printer p3).
+func USIT15P3Mapping() *Mapping { return casestudy.T15P3Mapping() }
+
+// USIBackupMapping returns the mapping for the backup service from client
+// t7.
+func USIBackupMapping() *Mapping { return casestudy.BackupMapping() }
+
+// Bounds holds the Esary–Proschan availability bounds returned by
+// ServiceStructure.EsaryProschan.
+type Bounds = depend.Bounds
