@@ -7,15 +7,20 @@
 //
 //	upsim casestudy  -model usi.xml -mapping table1.xml
 //	upsim inventory  -model usi.xml -diagram infrastructure
-//	upsim paths      -model usi.xml -diagram infrastructure -from t1 -to printS
+//	upsim paths      -model usi.xml -diagram infrastructure -from t1 -to printS [-trace]
 //	upsim generate   -model usi.xml -diagram infrastructure -service printing \
-//	                 -mapping table1.xml -name upsim-t1-p2 [-dot out.dot] [-out model2.xml]
+//	                 -mapping table1.xml -name upsim-t1-p2 [-dot out.dot] [-out model2.xml] [-trace]
 //	upsim avail      -model usi.xml -diagram infrastructure -service printing \
-//	                 -mapping table1.xml [-formula1] [-mc 200000]
+//	                 -mapping table1.xml [-formula1] [-mc 200000] [-trace]
 //	upsim dot        -model usi.xml -diagram infrastructure
+//
+// The -trace flag on paths, generate and avail prints the pipeline span
+// tree (one span per methodology step, with wall times and attributes)
+// after the normal output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,21 @@ import (
 	"upsim/internal/vtcl"
 	"upsim/internal/workspace"
 )
+
+// traceSpan opens a root span when -trace is set and returns a print func
+// the subcommand defers: it ends the span and writes the rendered tree with
+// per-stage wall times. Without -trace both returns are cheap no-ops.
+func traceSpan(enabled bool, name string) (context.Context, func()) {
+	ctx := context.Background()
+	if !enabled {
+		return ctx, func() {}
+	}
+	ctx, span := upsim.StartSpan(ctx, name)
+	return ctx, func() {
+		span.End()
+		fmt.Print(span.Render())
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -183,6 +203,7 @@ func cmdPaths(args []string) error {
 	to := fs.String("to", "", "provider component")
 	maxDepth := fs.Int("maxdepth", 0, "bound path length in hops (0 = unbounded)")
 	maxPaths := fs.Int("maxpaths", 0, "stop after N paths (0 = unbounded)")
+	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,20 +214,27 @@ func cmdPaths(args []string) error {
 	if err != nil {
 		return err
 	}
-	gen, err := upsim.NewGenerator(m, *diagram)
+	ctx, printTrace := traceSpan(*trace, "upsim.paths")
+	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
 	if err != nil {
 		return err
 	}
 	g := gen.Graph()
+	_, disc := upsim.StartSpan(ctx, "step7.pathdisc")
 	paths, stats, err := upsim.AllPaths(g, *from, *to,
 		upsim.PathOptions{MaxDepth: *maxDepth, MaxPaths: *maxPaths})
+	disc.SetAttr("paths", stats.Paths)
+	disc.SetAttr("edge_visits", stats.EdgeVisits)
+	disc.End()
 	if err != nil {
 		return err
 	}
 	for _, p := range paths {
 		fmt.Println(p)
 	}
-	fmt.Printf("# %d paths, %d edge visits, max stack %d\n", stats.Paths, stats.EdgeVisits, stats.MaxStack)
+	fmt.Printf("# %d paths, %d nodes visited, %d edge visits, max stack %d\n",
+		stats.Paths, stats.NodeVisits, stats.EdgeVisits, stats.MaxStack)
+	printTrace()
 	return nil
 }
 
@@ -219,6 +247,7 @@ func cmdGenerate(args []string) error {
 	name := fs.String("name", "upsim", "name of the generated UPSIM diagram")
 	dotOut := fs.String("dot", "", "optional DOT output path for the UPSIM")
 	modelOut := fs.String("out", "", "optional path to write the model including the UPSIM diagram")
+	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -241,11 +270,12 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	gen, err := upsim.NewGenerator(m, *diagram)
+	ctx, printTrace := traceSpan(*trace, "upsim.generate")
+	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
 	if err != nil {
 		return err
 	}
-	res, err := gen.Generate(svc, mp, *name, upsim.Options{})
+	res, err := gen.GenerateContext(ctx, svc, mp, *name, upsim.Options{})
 	if err != nil {
 		return err
 	}
@@ -254,6 +284,12 @@ func cmdGenerate(args []string) error {
 	for _, inst := range res.UPSIM.Instances() {
 		fmt.Println("  ", inst.Signature())
 	}
+	for _, sp := range res.Services {
+		fmt.Printf("  service %-12s %s->%s: %d paths, %d nodes visited, %d edge visits\n",
+			sp.AtomicService, sp.Requester, sp.Provider,
+			sp.Stats.Paths, sp.Stats.NodeVisits, sp.Stats.EdgeVisits)
+	}
+	printTrace()
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(upsim.ToDOT(res.Graph, *name)), 0o644); err != nil {
 			return err
@@ -283,6 +319,7 @@ func cmdAvail(args []string) error {
 	formula1 := fs.Bool("formula1", false, "use the paper's Formula 1 instead of the exact component availability")
 	mcSamples := fs.Int("mc", 200000, "Monte-Carlo sample count")
 	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
+	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -305,11 +342,12 @@ func cmdAvail(args []string) error {
 	if err != nil {
 		return err
 	}
-	gen, err := upsim.NewGenerator(m, *diagram)
+	ctx, printTrace := traceSpan(*trace, "upsim.avail")
+	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
 	if err != nil {
 		return err
 	}
-	res, err := gen.Generate(svc, mp, "avail-analysis", upsim.Options{})
+	res, err := gen.GenerateContext(ctx, svc, mp, "avail-analysis", upsim.Options{})
 	if err != nil {
 		return err
 	}
@@ -317,7 +355,7 @@ func cmdAvail(args []string) error {
 	if *formula1 {
 		model = upsim.ModelFormula1
 	}
-	rep, err := upsim.Analyze(res, model, *mcSamples, *seed)
+	rep, err := upsim.AnalyzeContext(ctx, res, model, *mcSamples, *seed)
 	if err != nil {
 		return err
 	}
@@ -328,6 +366,7 @@ func cmdAvail(args []string) error {
 	fmt.Printf("fault tree:   %.10f\n", rep.FTApprox)
 	fmt.Printf("Monte Carlo:  %.6f ± %.6f (%d samples)\n", rep.MonteCarlo, rep.MCStdErr, *mcSamples)
 	fmt.Printf("downtime:     %.1f hours/year\n", rep.DowntimePerYearHours)
+	printTrace()
 	return nil
 }
 

@@ -166,6 +166,72 @@ func TestCLIQueryAndRBD(t *testing.T) {
 	}
 }
 
+// TestCLITrace checks the -trace flag: each pipeline stage (Steps 5–8, and
+// the analysis stages for avail) shows up as a span in the printed tree.
+func TestCLITrace(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+
+	out, err := capture(t, func() error {
+		return run([]string{"generate", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-name", "traced", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{
+		"upsim.generate", "step5.import_uml", "step6.import_mapping",
+		"step7.pathdisc", "step8.merge",
+	} {
+		if !strings.Contains(out, span) {
+			t.Errorf("generate -trace missing span %q:\n%s", span, out)
+		}
+	}
+	if !strings.Contains(out, "t1->printS: 2 paths") || !strings.Contains(out, "nodes visited") {
+		t.Errorf("generate missing per-service stats:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"paths", "-model", modelPath, "-diagram", "infrastructure",
+			"-from", "t1", "-to", "printS", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"upsim.paths", "step5.import_uml", "step7.pathdisc"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("paths -trace missing span %q:\n%s", span, out)
+		}
+	}
+	if !strings.Contains(out, "# 2 paths, 51 nodes visited, 50 edge visits") {
+		t.Errorf("paths stats line:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"avail", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-mc", "5000", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"upsim.avail", "avail.analyze", "avail.exact", "avail.montecarlo"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("avail -trace missing span %q:\n%s", span, out)
+		}
+	}
+
+	// Without -trace no tree is printed.
+	out, err = capture(t, func() error {
+		return run([]string{"paths", "-model", modelPath, "-diagram", "infrastructure",
+			"-from", "t1", "-to", "printS"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "step5.import_uml") {
+		t.Errorf("trace printed without -trace:\n%s", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	modelPath, mappingPath := withArtifacts(t)
 	cases := [][]string{

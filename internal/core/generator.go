@@ -16,10 +16,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"upsim/internal/importers"
 	"upsim/internal/mapping"
+	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
 	"upsim/internal/service"
 	"upsim/internal/topology"
@@ -159,6 +161,15 @@ type Generator struct {
 // NewGenerator imports the model into a fresh model space (Step 5) and
 // prepares the graph view of the named infrastructure object diagram.
 func NewGenerator(m *uml.Model, diagramName string) (*Generator, error) {
+	return NewGeneratorContext(context.Background(), m, diagramName)
+}
+
+// NewGeneratorContext is NewGenerator under a context: when ctx carries an
+// obs span, Step 5 (UML import) is recorded as a child span with the
+// imported topology size.
+func NewGeneratorContext(ctx context.Context, m *uml.Model, diagramName string) (*Generator, error) {
+	_, sp := obs.StartSpan(ctx, "step5.import_uml")
+	defer sp.End()
 	if m == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
@@ -177,11 +188,14 @@ func NewGenerator(m *uml.Model, diagramName string) (*Generator, error) {
 	if err := im.Import(m); err != nil {
 		return nil, err
 	}
+	g := topology.FromObjectDiagram(d)
+	sp.SetAttr("nodes", g.NumNodes())
+	sp.SetAttr("edges", g.NumEdges())
 	return &Generator{
 		model:       m,
 		diagramName: diagramName,
 		space:       space,
-		graph:       topology.FromObjectDiagram(d),
+		graph:       g,
 	}, nil
 }
 
@@ -199,6 +213,14 @@ func (g *Generator) Model() *uml.Model { return g.model }
 // The name must be unique per generator invocation (it names the mapping
 // import, the stored path subtree and the output object diagram).
 func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name string, opts Options) (*Result, error) {
+	return g.GenerateContext(context.Background(), svc, mp, name, opts)
+}
+
+// GenerateContext is Generate under a context: when ctx carries an obs
+// span, each pipeline stage (Step 6 mapping import, Step 7 path discovery
+// with one child span per atomic service, Step 8 merge) is recorded with
+// its wall time and outcome attributes.
+func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite, mp *mapping.Mapping, name string, opts Options) (*Result, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("core: nil service")
 	}
@@ -214,18 +236,26 @@ func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name s
 
 	// Step 6: import the service mapping pairs. The importer verifies every
 	// referenced component against the infrastructure diagram.
+	_, span6 := obs.StartSpan(ctx, "step6.import_mapping")
 	g.mappingSeq++
 	mappingName := fmt.Sprintf("%s-%d", name, g.mappingSeq)
 	mi, err := importers.NewMappingImporter(g.space)
 	if err != nil {
+		span6.End()
 		return nil, err
 	}
 	diagramFQN := importers.DiagramFQN(g.model.Name(), g.diagramName)
 	if err := mi.Import(mappingName, mp, diagramFQN); err != nil {
+		span6.End()
 		return nil, err
 	}
+	span6.SetAttr("pairs", len(mp.Pairs()))
+	span6.End()
 
 	// Step 7: path discovery per atomic service, in execution order.
+	ctx7, span7 := obs.StartSpan(ctx, "step7.pathdisc")
+	defer span7.End()
+	span7.SetAttr("algorithm", opts.Algorithm.String())
 	pairs, err := svc.RelevantPairs(mp)
 	if err != nil {
 		return nil, err
@@ -241,7 +271,13 @@ func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name s
 			Requester:     req.Name(),
 			Provider:      prov.Name(),
 		}
+		_, svcSpan := obs.StartSpan(ctx7, p.AtomicService)
 		sp.Paths, sp.Stats, err = g.discover(req.Name(), prov.Name(), opts)
+		svcSpan.SetAttr("paths", sp.Stats.Paths)
+		svcSpan.SetAttr("edge_visits", sp.Stats.EdgeVisits)
+		svcSpan.SetAttr("nodes_visited", sp.Stats.NodeVisits)
+		svcSpan.SetAttr("max_stack", sp.Stats.MaxStack)
+		svcSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: atomic service %q: %w", name, p.AtomicService, err)
 		}
@@ -253,19 +289,24 @@ func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name s
 		res.TotalPaths += len(sp.Paths)
 		res.EdgeVisits += sp.Stats.EdgeVisits
 	}
+	span7.SetAttr("paths", res.TotalPaths)
+	span7.SetAttr("edge_visits", res.EdgeVisits)
+	span7.End()
 
-	// Store the discovered paths in a reserved subtree of the model space
-	// ("Resulting paths are stored separately in the model space for
-	// further manipulation", Step 7).
+	// Step 8: merge all paths of all atomic services into one object
+	// diagram. Storing the discovered paths in the reserved model-space
+	// subtree ("Resulting paths are stored separately in the model space for
+	// further manipulation", Step 7) is part of the same stage.
+	_, span8 := obs.StartSpan(ctx, "step8.merge")
+	defer span8.End()
 	if err := g.storePaths(name, res.Services); err != nil {
 		return nil, err
 	}
-
-	// Step 8: merge all paths of all atomic services into one object
-	// diagram.
 	if err := g.merge(res, opts); err != nil {
 		return nil, err
 	}
+	span8.SetAttr("nodes", res.Graph.NumNodes())
+	span8.SetAttr("links", res.Graph.NumEdges())
 	return res, nil
 }
 
@@ -284,7 +325,7 @@ func (g *Generator) discover(req, prov string, opts Options) ([]pathdisc.Path, p
 			// the DFS variants.
 			return nil, pathdisc.Stats{}, nil
 		}
-		return []pathdisc.Path{p}, pathdisc.Stats{Paths: 1, EdgeVisits: p.Len()}, nil
+		return []pathdisc.Path{p}, pathdisc.Stats{Paths: 1, EdgeVisits: p.Len(), NodeVisits: len(p.Nodes)}, nil
 	}
 	return nil, pathdisc.Stats{}, fmt.Errorf("unknown algorithm %v", opts.Algorithm)
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"upsim/internal/mapping"
+	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
 	"upsim/internal/service"
 	"upsim/internal/uml"
@@ -416,5 +418,52 @@ func TestGenerateNameCollision(t *testing.T) {
 	// Colliding with the infrastructure diagram itself is also rejected.
 	if _, err := g.Generate(f.svc, f.mp, "infrastructure", Options{}); err == nil {
 		t.Error("UPSIM named like the infrastructure diagram must fail")
+	}
+}
+
+// TestGenerateContextSpans verifies the tentpole tracing contract: a traced
+// generation records one span per pipeline stage (Steps 5–8), with the
+// per-atomic-service discovery spans nested under Step 7.
+func TestGenerateContextSpans(t *testing.T) {
+	f := buildFixture(t)
+	ctx, root := obs.StartSpan(context.Background(), "generate")
+	g, err := NewGeneratorContext(ctx, f.model, "infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GenerateContext(ctx, f.svc, f.mp, "traced", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := root.WellFormed(); err != nil {
+		t.Error(err)
+	}
+	byName := map[string]*obs.Span{}
+	root.Walk(func(sp *obs.Span, _ int) { byName[sp.Name()] = sp })
+	for _, stage := range []string{"step5.import_uml", "step6.import_mapping", "step7.pathdisc", "step8.merge"} {
+		if byName[stage] == nil {
+			t.Errorf("stage span %q missing from %v", stage, root.Render())
+		}
+	}
+	step7 := byName["step7.pathdisc"]
+	if step7 == nil {
+		t.Fatal("no step7 span")
+	}
+	kids := step7.Children()
+	if len(kids) != 2 { // fetch and deliver atomic services
+		t.Fatalf("step7 children = %d, want 2 (%s)", len(kids), root.Render())
+	}
+	attrs := map[string]any{}
+	for _, a := range kids[0].Attrs() {
+		attrs[a.Key] = a.Value
+	}
+	for _, k := range []string{"paths", "edge_visits", "nodes_visited", "max_stack"} {
+		if _, ok := attrs[k]; !ok {
+			t.Errorf("discovery span lacks attr %q: %v", k, attrs)
+		}
+	}
+	// Untraced generation still works (plain Generate, background context).
+	if _, err := g.Generate(f.svc, f.mp, "untraced", Options{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,9 +1,11 @@
 package depend
 
 import (
+	"context"
 	"fmt"
 
 	"upsim/internal/core"
+	"upsim/internal/obs"
 	"upsim/internal/uml"
 )
 
@@ -163,27 +165,59 @@ type Report struct {
 // result: derive component availabilities, build the structure, evaluate
 // exactly, by RBD/FT approximation and by simulation.
 func Analyze(res *core.Result, model AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	return AnalyzeContext(context.Background(), res, model, mcSamples, seed)
+}
+
+// AnalyzeContext is Analyze under a context: when ctx carries an obs span,
+// the analysis is recorded as an "avail.analyze" span with one child per
+// evaluation method (structure extraction, exact, RBD, fault tree, Monte
+// Carlo).
+func AnalyzeContext(ctx context.Context, res *core.Result, model AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	ctx, span := obs.StartSpan(ctx, "avail.analyze")
+	defer span.End()
+	stage := func(name string) *obs.Span {
+		_, sp := obs.StartSpan(ctx, name)
+		return sp
+	}
+
+	sp := stage("avail.structure")
 	st, avail, err := FromResult(res, model)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("components", len(st.Components()))
+
+	sp = stage("avail.exact")
 	exact, err := st.Exact(avail)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = stage("avail.rbd")
 	rbd, err := st.RBDApprox(avail)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = stage("avail.fault_tree")
 	ft, err := st.ToFaultTree(avail)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	topQ, err := ft.Probability()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	sp = stage("avail.montecarlo")
+	sp.SetAttr("samples", mcSamples)
 	mc, se, err := st.MonteCarlo(avail, mcSamples, seed)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

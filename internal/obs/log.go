@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// logger holds the process-wide structured logger. The default writes
+// text-format records to stderr at Info level; binaries swap it at startup
+// (cmd/upsimd installs a level-configurable one) and libraries obtain it via
+// Logger so that everything logs through one sink.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// Logger returns the current process-wide structured logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide structured logger. Passing nil resets
+// to the default stderr text logger.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	logger.Store(l)
+}

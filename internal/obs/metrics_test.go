@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "A test counter.", "kind")
+	c.With("a").Inc()
+	c.With("a").Add(2)
+	c.With("b").Inc()
+	if got := c.With("a").Value(); got != 3 {
+		t.Errorf("counter a = %d, want 3", got)
+	}
+	g := r.NewGauge("test_gauge", "A test gauge.")
+	g.With().Set(5)
+	g.With().Dec()
+	if got := g.With().Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "First.", "l")
+	b := r.NewCounter("dup_total", "First.", "l")
+	a.With("x").Inc()
+	b.With("x").Inc()
+	if got := a.With("x").Value(); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "A test histogram.", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.With().Observe(v)
+	}
+	exp := r.Expose()
+	for _, want := range []string{
+		`test_seconds_bucket{le="1"} 2`,  // 0.5 and 1 (le is inclusive)
+		`test_seconds_bucket{le="5"} 3`,  // + 3
+		`test_seconds_bucket{le="10"} 4`, // + 7
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 111.5`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("fmt_total", "Counts things.", "method", "status")
+	c.With("GET", "200").Add(7)
+	exp := r.Expose()
+	for _, want := range []string{
+		"# HELP fmt_total Counts things.\n",
+		"# TYPE fmt_total counter\n",
+		`fmt_total{method="GET",status="200"} 7` + "\n",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("esc_total", "Escapes.", "path")
+	c.With(`a"b\c` + "\n").Inc()
+	exp := r.Expose()
+	if !strings.Contains(exp, `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", exp)
+	}
+}
+
+func TestEmptyFamiliesOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("unused_total", "Never incremented.")
+	if exp := r.Expose(); strings.Contains(exp, "unused_total") {
+		t.Errorf("family with no children exposed:\n%s", exp)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("handler_total", "Via handler.").With().Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "handler_total 1") {
+		t.Errorf("body = %s", body)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("snap_total", "Snap.", "k").With("v").Add(3)
+	h := r.NewHistogram("snap_seconds", "Snap histogram.", []float64{1})
+	h.With().Observe(0.5)
+	snap := r.Snapshot()
+	if got := snap["snap_total"].(map[string]any)["v"]; got != uint64(3) {
+		t.Errorf("snapshot counter = %v", got)
+	}
+	hs := snap["snap_seconds"].(map[string]any)["_"].(map[string]any)
+	if hs["count"] != uint64(1) || hs["sum"] != 0.5 {
+		t.Errorf("snapshot histogram = %v", hs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "Concurrency.", "worker")
+	h := r.NewHistogram("conc_seconds", "Concurrency.", ExpBuckets(1, 2, 8), "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%4))
+			for i := 0; i < 1000; i++ {
+				c.With(label).Inc()
+				h.With(label).Observe(float64(i % 50))
+				if i%100 == 0 {
+					_ = r.Expose()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += c.With(l).Value()
+	}
+	if total != 8000 {
+		t.Errorf("total = %d, want 8000", total)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

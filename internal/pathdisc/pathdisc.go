@@ -15,8 +15,39 @@ import (
 	"strings"
 	"sync"
 
+	"upsim/internal/obs"
 	"upsim/internal/topology"
 )
+
+// Search-effort metrics, one observation per completed enumeration,
+// partitioned by algorithm variant. The exponential buckets follow the
+// paper's complexity discussion (§V-D): effort grows factorially with
+// density, so linear buckets would saturate immediately.
+var (
+	searchBuckets = obs.ExpBuckets(1, 4, 12)
+
+	mNodesVisited = obs.NewHistogram("upsim_pathdisc_nodes_visited",
+		"Nodes expanded per path enumeration.", searchBuckets, "algorithm")
+	mEdgeVisits = obs.NewHistogram("upsim_pathdisc_edge_visits",
+		"Edges traversed per path enumeration, including dead ends.", searchBuckets, "algorithm")
+	mPathsFound = obs.NewHistogram("upsim_pathdisc_paths_found",
+		"Simple paths reported per enumeration.", searchBuckets, "algorithm")
+	mMaxStack = obs.NewHistogram("upsim_pathdisc_max_stack",
+		"Deepest DFS stack per enumeration, in nodes.", searchBuckets, "algorithm")
+	mTruncated = obs.NewCounter("upsim_pathdisc_truncated_total",
+		"Enumerations stopped early by MaxPaths.", "algorithm")
+)
+
+// observe feeds one enumeration's Stats into the per-algorithm histograms.
+func observe(algorithm string, s Stats) {
+	mNodesVisited.With(algorithm).Observe(float64(s.NodeVisits))
+	mEdgeVisits.With(algorithm).Observe(float64(s.EdgeVisits))
+	mPathsFound.With(algorithm).Observe(float64(s.Paths))
+	mMaxStack.With(algorithm).Observe(float64(s.MaxStack))
+	if s.Truncated {
+		mTruncated.With(algorithm).Inc()
+	}
+}
 
 // Path is one simple path: the visited node names in order, plus the IDs of
 // the traversed edges (len(Edges) == len(Nodes)-1). Parallel edges between
@@ -65,6 +96,12 @@ type Stats struct {
 	// EdgeVisits counts traversed edge expansions, including those that
 	// dead-ended.
 	EdgeVisits int
+	// NodeVisits counts node expansions, including the initial requester
+	// and re-entries of the same node along different partial paths. Each
+	// traversed edge enters exactly one node, so for a completed search
+	// NodeVisits = EdgeVisits + 1 (per independent sub-search for the
+	// parallel variant).
+	NodeVisits int
 	// MaxStack is the deepest DFS stack observed (in nodes).
 	MaxStack int
 	// Paths is the number of reported paths.
@@ -149,6 +186,8 @@ func AllPaths(g *topology.Graph, src, dst string, opts Options) ([]Path, Stats, 
 		return true
 	}
 	rec(src)
+	stats.NodeVisits = stats.EdgeVisits + 1
+	observe("recursive-dfs", stats)
 	return out, stats, nil
 }
 
@@ -210,6 +249,8 @@ func AllPathsIterative(g *topology.Graph, src, dst string, opts Options) ([]Path
 				stats.Paths++
 				if opts.MaxPaths > 0 && stats.Paths >= opts.MaxPaths {
 					stats.Truncated = true
+					stats.NodeVisits = stats.EdgeVisits + 1
+					observe("iterative-dfs", stats)
 					return out, stats, nil
 				}
 				continue
@@ -236,6 +277,8 @@ func AllPathsIterative(g *topology.Graph, src, dst string, opts Options) ([]Path
 			edges = edges[:len(edges)-1]
 		}
 	}
+	stats.NodeVisits = stats.EdgeVisits + 1
+	observe("iterative-dfs", stats)
 	return out, stats, nil
 }
 
@@ -319,11 +362,15 @@ func AllPathsParallel(g *topology.Graph, src, dst string, opts Options, workers 
 			if opts.MaxPaths > 0 && len(out) >= opts.MaxPaths {
 				stats.Truncated = true
 				stats.Paths = len(out)
+				stats.NodeVisits = stats.EdgeVisits + 1
+				observe("parallel-dfs", stats)
 				return out, stats, nil
 			}
 		}
 	}
 	stats.Paths = len(out)
+	stats.NodeVisits = stats.EdgeVisits + 1
+	observe("parallel-dfs", stats)
 	return out, stats, nil
 }
 
@@ -488,6 +535,8 @@ func CountPaths(g *topology.Graph, src, dst string, opts Options) (int, Stats, e
 		return true
 	}
 	rec(src)
+	stats.NodeVisits = stats.EdgeVisits + 1
+	observe("count", stats)
 	return count, stats, nil
 }
 

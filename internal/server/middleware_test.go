@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"upsim/internal/casestudy"
+)
+
+// getBody GETs a path and returns the body.
+func getBody(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsEndpoint is the acceptance check of the observability layer:
+// after a POST /api/v1/generate, GET /metrics exposes a non-zero request
+// counter, a latency histogram for the endpoint and nodes-visited
+// observations from path discovery.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+	resp, body := postJSON(t, ts, "/api/v1/generate", map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+		"name":       "metrics-run",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate = %d: %s", resp.StatusCode, body)
+	}
+
+	mresp, exposition := getBody(t, ts, "/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	// Non-zero request counter for the generate route.
+	counter := regexp.MustCompile(`upsim_http_requests_total\{method="POST",path="/api/v1/generate",status="200"\} ([1-9]\d*)`)
+	if !counter.MatchString(exposition) {
+		t.Errorf("request counter missing or zero:\n%s", grepLines(exposition, "upsim_http_requests_total"))
+	}
+	// Latency histogram for the endpoint.
+	for _, want := range []string{
+		`upsim_http_request_duration_seconds_bucket{path="/api/v1/generate",le="+Inf"}`,
+		`upsim_http_request_duration_seconds_count{path="/api/v1/generate"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("latency histogram missing %q", want)
+		}
+	}
+	// Path-discovery instrumentation flowed into the histograms.
+	obsCount := regexp.MustCompile(`upsim_pathdisc_nodes_visited_count\{algorithm="recursive-dfs"\} ([1-9]\d*)`)
+	if !obsCount.MatchString(exposition) {
+		t.Errorf("nodes_visited observations missing:\n%s", grepLines(exposition, "upsim_pathdisc_nodes_visited_count"))
+	}
+	// The in-flight gauge exists and is settled back to zero.
+	if !strings.Contains(exposition, "upsim_http_in_flight 0") {
+		t.Errorf("in-flight gauge:\n%s", grepLines(exposition, "upsim_http_in_flight"))
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		return "(no lines match " + substr + ")"
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestDebugVars(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	// Serve one request so the counters exist.
+	if resp, _ := getBody(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, body := getBody(t, ts, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars = %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("expvar memstats missing")
+	}
+	upsim, ok := vars["upsim"].(map[string]any)
+	if !ok {
+		t.Fatalf("upsim snapshot missing: %v", vars["upsim"])
+	}
+	if _, ok := upsim["upsim_http_requests_total"]; !ok {
+		t.Errorf("snapshot lacks request counter: %v", upsim)
+	}
+}
+
+func TestRequestIDInjected(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	resp, _ := getBody(t, ts, "/healthz")
+	if id := resp.Header.Get(RequestIDHeader); len(id) != 16 {
+		t.Errorf("generated request id = %q", id)
+	}
+	// A caller-supplied ID is echoed back.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(RequestIDHeader, "caller-chose-this")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get(RequestIDHeader); id != "caller-chose-this" {
+		t.Errorf("echoed request id = %q", id)
+	}
+}
+
+// TestPanicRecovery drives a panicking handler through the middleware and
+// expects a JSON 500, a recorded panic metric, and a live server.
+func TestPanicRecovery(t *testing.T) {
+	before := mPanics.With("/panic").Value()
+	h := instrument("/panic", func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, body := getBody(t, ts, "/")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panic status = %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil || !strings.Contains(e.Error, "internal server error") {
+		t.Errorf("panic body = %q, err %v", body, err)
+	}
+	if got := mPanics.With("/panic").Value(); got != before+1 {
+		t.Errorf("panics counter = %d, want %d", got, before+1)
+	}
+	// The server survives and keeps serving.
+	resp2, _ := getBody(t, ts, "/")
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Errorf("second panic status = %d", resp2.StatusCode)
+	}
+}
+
+// TestPathsStatsInResponse covers the dropped-instrumentation satellite:
+// the paths and generate endpoints report the discovery Stats.
+func TestPathsStatsInResponse(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	resp, body := postJSON(t, ts, "/api/v1/paths", map[string]any{
+		"modelXml": modelXML,
+		"diagram":  casestudy.DiagramName,
+		"from":     "t1",
+		"to":       "printS",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("paths = %d: %s", resp.StatusCode, body)
+	}
+	var pr pathsResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PathCount != 2 || pr.NodesVisited == 0 || pr.MaxStack == 0 {
+		t.Errorf("paths stats = %+v", pr)
+	}
+	if pr.NodesVisited != pr.EdgeVisits+1 {
+		t.Errorf("nodesVisited = %d, edgeVisits = %d", pr.NodesVisited, pr.EdgeVisits)
+	}
+
+	resp, body = postJSON(t, ts, "/api/v1/generate", map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+		"name":       "stats-run",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate = %d: %s", resp.StatusCode, body)
+	}
+	var gr generateResponse
+	if err := json.Unmarshal(body, &gr); err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Services) == 0 || gr.EdgeVisits == 0 {
+		t.Fatalf("generate stats missing: %+v", gr)
+	}
+	for _, s := range gr.Services {
+		if s.AtomicService == "" || s.Requester == "" || s.Provider == "" {
+			t.Errorf("incomplete service stats: %+v", s)
+		}
+		if s.Paths == 0 || s.EdgeVisits == 0 || s.NodesVisited == 0 {
+			t.Errorf("zero stats for %q: %+v", s.AtomicService, s)
+		}
+	}
+}

@@ -7,25 +7,35 @@
 // Endpoints (all stateless; models travel in the request):
 //
 //	GET  /healthz                      liveness probe
+//	GET  /metrics                      Prometheus text exposition (internal/obs)
+//	GET  /debug/vars                   expvar JSON, including the obs snapshot
 //	GET  /api/v1/casestudy/model       built-in USI model (XML)
 //	GET  /api/v1/casestudy/mapping     built-in Table I mapping (XML)
 //	POST /api/v1/paths                 all simple paths between two components
 //	POST /api/v1/generate              generate a UPSIM
 //	POST /api/v1/availability          generate + Section VII analysis
 //	POST /api/v1/qos                   performability + responsiveness
+//
+// Every API route runs behind the observability middleware (request-ID
+// injection, request counter, per-route latency histogram, in-flight gauge,
+// panic recovery → JSON 500); see middleware.go.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
 	"upsim/internal/mapping"
+	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
 	"upsim/internal/service"
 	"upsim/internal/uml"
@@ -35,16 +45,30 @@ import (
 // generous).
 const MaxRequestBytes = 8 << 20
 
+// publishOnce guards the process-wide expvar registration (expvar panics on
+// duplicate names; New may be called per test).
+var publishOnce sync.Once
+
 // New returns the HTTP handler serving the API.
 func New() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("upsim", expvar.Func(func() any {
+			return obs.DefaultRegistry().Snapshot()
+		}))
+	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealth)
-	mux.HandleFunc("GET /api/v1/casestudy/model", handleCaseStudyModel)
-	mux.HandleFunc("GET /api/v1/casestudy/mapping", handleCaseStudyMapping)
-	mux.HandleFunc("POST /api/v1/paths", handlePaths)
-	mux.HandleFunc("POST /api/v1/generate", handleGenerate)
-	mux.HandleFunc("POST /api/v1/availability", handleAvailability)
-	mux.HandleFunc("POST /api/v1/qos", handleQoS)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(route, h))
+	}
+	handle("GET /healthz", "/healthz", handleHealth)
+	handle("GET /api/v1/casestudy/model", "/api/v1/casestudy/model", handleCaseStudyModel)
+	handle("GET /api/v1/casestudy/mapping", "/api/v1/casestudy/mapping", handleCaseStudyMapping)
+	handle("POST /api/v1/paths", "/api/v1/paths", handlePaths)
+	handle("POST /api/v1/generate", "/api/v1/generate", handleGenerate)
+	handle("POST /api/v1/availability", "/api/v1/availability", handleAvailability)
+	handle("POST /api/v1/qos", "/api/v1/qos", handleQoS)
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
 
@@ -114,7 +138,7 @@ type modelInput struct {
 	Diagram string `json:"diagram"`
 }
 
-func (in *modelInput) load() (*uml.Model, *core.Generator, error) {
+func (in *modelInput) load(ctx context.Context) (*uml.Model, *core.Generator, error) {
 	if strings.TrimSpace(in.ModelXML) == "" {
 		return nil, nil, fmt.Errorf("modelXml is required")
 	}
@@ -125,7 +149,7 @@ func (in *modelInput) load() (*uml.Model, *core.Generator, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	gen, err := core.NewGenerator(m, in.Diagram)
+	gen, err := core.NewGeneratorContext(ctx, m, in.Diagram)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -141,11 +165,15 @@ type pathsRequest struct {
 	MaxPaths int    `json:"maxPaths,omitempty"`
 }
 
-// pathsResponse returns the enumeration.
+// pathsResponse returns the enumeration together with the full discovery
+// instrumentation (the Stats the seed silently dropped).
 type pathsResponse struct {
-	Paths      []string `json:"paths"`
-	EdgeVisits int      `json:"edgeVisits"`
-	Truncated  bool     `json:"truncated"`
+	Paths        []string `json:"paths"`
+	PathCount    int      `json:"pathCount"`
+	EdgeVisits   int      `json:"edgeVisits"`
+	NodesVisited int      `json:"nodesVisited"`
+	MaxStack     int      `json:"maxStack"`
+	Truncated    bool     `json:"truncated"`
 }
 
 func handlePaths(w http.ResponseWriter, r *http.Request) {
@@ -153,7 +181,7 @@ func handlePaths(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	_, gen, err := req.load()
+	_, gen, err := req.load(r.Context())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -164,7 +192,13 @@ func handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := pathsResponse{EdgeVisits: stats.EdgeVisits, Truncated: stats.Truncated}
+	resp := pathsResponse{
+		PathCount:    stats.Paths,
+		EdgeVisits:   stats.EdgeVisits,
+		NodesVisited: stats.NodeVisits,
+		MaxStack:     stats.MaxStack,
+		Truncated:    stats.Truncated,
+	}
 	for _, p := range paths {
 		resp.Paths = append(resp.Paths, p.String())
 	}
@@ -184,8 +218,8 @@ type generateRequest struct {
 	AllowDisconnected bool `json:"allowDisconnected,omitempty"`
 }
 
-func (req *generateRequest) generate() (*core.Result, error) {
-	_, gen, err := req.load()
+func (req *generateRequest) generate(ctx context.Context) (*core.Result, error) {
+	_, gen, err := req.load(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +240,7 @@ func (req *generateRequest) generate() (*core.Result, error) {
 	if name == "" {
 		name = "upsim"
 	}
-	return gen.Generate(svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
+	return gen.GenerateContext(ctx, svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
 }
 
 // linkJSON is one UPSIM link.
@@ -216,13 +250,27 @@ type linkJSON struct {
 	Association string `json:"association"`
 }
 
-// generateResponse returns the UPSIM.
+// serviceStatsJSON is the Step 7 instrumentation for one atomic service.
+type serviceStatsJSON struct {
+	AtomicService string `json:"atomicService"`
+	Requester     string `json:"requester"`
+	Provider      string `json:"provider"`
+	Paths         int    `json:"paths"`
+	EdgeVisits    int    `json:"edgeVisits"`
+	NodesVisited  int    `json:"nodesVisited"`
+	MaxStack      int    `json:"maxStack"`
+	Truncated     bool   `json:"truncated"`
+}
+
+// generateResponse returns the UPSIM plus the per-service discovery stats.
 type generateResponse struct {
 	Name       string              `json:"name"`
 	Nodes      []string            `json:"nodes"`
 	Links      []linkJSON          `json:"links"`
 	Paths      map[string][]string `json:"pathsByService"`
 	TotalPaths int                 `json:"totalPaths"`
+	EdgeVisits int                 `json:"edgeVisits"`
+	Services   []serviceStatsJSON  `json:"serviceStats"`
 }
 
 func handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -230,7 +278,7 @@ func handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate()
+	res, err := req.generate(r.Context())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -240,6 +288,7 @@ func handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Nodes:      res.NodeNames(),
 		Paths:      make(map[string][]string, len(res.Services)),
 		TotalPaths: res.TotalPaths,
+		EdgeVisits: res.EdgeVisits,
 	}
 	for _, l := range res.UPSIM.Links() {
 		a, b := l.Ends()
@@ -251,6 +300,16 @@ func handleGenerate(w http.ResponseWriter, r *http.Request) {
 			ps = append(ps, p.String())
 		}
 		resp.Paths[sp.AtomicService] = ps
+		resp.Services = append(resp.Services, serviceStatsJSON{
+			AtomicService: sp.AtomicService,
+			Requester:     sp.Requester,
+			Provider:      sp.Provider,
+			Paths:         sp.Stats.Paths,
+			EdgeVisits:    sp.Stats.EdgeVisits,
+			NodesVisited:  sp.Stats.NodeVisits,
+			MaxStack:      sp.Stats.MaxStack,
+			Truncated:     sp.Stats.Truncated,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -300,7 +359,7 @@ func handleQoS(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate()
+	res, err := req.generate(r.Context())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -334,7 +393,7 @@ func handleAvailability(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate()
+	res, err := req.generate(r.Context())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -351,7 +410,7 @@ func handleAvailability(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = 1
 	}
-	rep, err := depend.Analyze(res, model, samples, seed)
+	rep, err := depend.AnalyzeContext(r.Context(), res, model, samples, seed)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return

@@ -28,13 +28,17 @@ package upsim
 
 import (
 	"bytes"
+	"context"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
 	"upsim/internal/mapping"
 	"upsim/internal/modelgen"
+	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
 	"upsim/internal/rbdgen"
 	"upsim/internal/service"
@@ -296,11 +300,24 @@ func NewGenerator(m *Model, diagramName string) (*Generator, error) {
 	return core.NewGenerator(m, diagramName)
 }
 
+// NewGeneratorContext is NewGenerator with trace propagation: when ctx
+// carries a span (see StartSpan) the model import records a child span.
+func NewGeneratorContext(ctx context.Context, m *Model, diagramName string) (*Generator, error) {
+	return core.NewGeneratorContext(ctx, m, diagramName)
+}
+
 // Analyze runs the Section VII dependability analysis on a generated UPSIM:
 // per-component availability from MTBF/MTTR, exact structure-function
 // evaluation, RBD and fault-tree approximations, and a Monte-Carlo check.
 func Analyze(res *Result, model depend.AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
 	return depend.Analyze(res, model, mcSamples, seed)
+}
+
+// AnalyzeContext is Analyze with trace propagation: each analysis stage
+// (structure extraction, exact, RBD, fault tree, Monte Carlo) records a
+// child span on the ctx span.
+func AnalyzeContext(ctx context.Context, res *Result, model depend.AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	return depend.AnalyzeContext(ctx, res, model, mcSamples, seed)
 }
 
 // StructureOf extracts the service structure function and component
@@ -353,3 +370,34 @@ func USIBackupMapping() *Mapping { return casestudy.BackupMapping() }
 // Bounds holds the Esary–Proschan availability bounds returned by
 // ServiceStructure.EsaryProschan.
 type Bounds = depend.Bounds
+
+// --- Observability (internal/obs) ---
+
+// Span is one node of a trace tree recorded by StartSpan.
+type Span = obs.Span
+
+// SpanAttr is one key/value annotation on a Span.
+type SpanAttr = obs.Attr
+
+// StartSpan opens a trace span as a child of the span carried by ctx (or as
+// a root span) and returns a ctx carrying the new span. The pipeline stages
+// of Generator and the availability analysis attach their own child spans
+// when called through the *Context variants, so a caller that opens a root
+// span around a run can print the whole tree with Span.Render.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.FromContext(ctx) }
+
+// MetricsHandler serves the process metrics registry in Prometheus text
+// exposition format (what internal/server mounts on GET /metrics).
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// Logger returns the process-wide structured logger used by the library.
+func Logger() *slog.Logger { return obs.Logger() }
+
+// SetLogger swaps the process-wide structured logger; nil restores the
+// default stderr text logger.
+func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
