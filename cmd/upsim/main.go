@@ -13,10 +13,18 @@
 //	upsim avail      -model usi.xml -diagram infrastructure -service printing \
 //	                 -mapping table1.xml [-formula1] [-mc 200000] [-trace]
 //	upsim dot        -model usi.xml -diagram infrastructure
+//	upsim lint       -model usi.xml -diagram infrastructure -service printing \
+//	                 -mapping table1.xml [-json]
+//	upsim lint       -casestudy
 //
 // The -trace flag on paths, generate and avail prints the pipeline span
 // tree (one span per methodology step, with wall times and attributes)
 // after the normal output.
+//
+// The lint subcommand runs every built-in static-analysis rule over the
+// model artifacts and exits non-zero when any error-severity finding exists,
+// so it slots directly into CI pipelines; -json emits the machine-readable
+// report.
 package main
 
 import (
@@ -72,6 +80,8 @@ func run(args []string) error {
 		return cmdAvail(args[1:])
 	case "dot":
 		return cmdDot(args[1:])
+	case "lint":
+		return cmdLint(args[1:])
 	case "query":
 		return cmdQuery(args[1:])
 	case "rbd":
@@ -96,6 +106,7 @@ commands:
   generate    generate a UPSIM for a service, mapping and perspective
   avail       user-perceived availability analysis for a service mapping
   dot         render an object diagram as Graphviz DOT
+  lint        static-analysis of model, service and mapping (non-zero exit on errors)
   query       run a VTCL-style pattern against the imported model space
   rbd         generate and render the reliability block diagram of a UPSIM
   project     init or inspect a workspace directory (model + mappings + patterns)
@@ -367,6 +378,80 @@ func cmdAvail(args []string) error {
 	fmt.Printf("Monte Carlo:  %.6f ± %.6f (%d samples)\n", rep.MonteCarlo, rep.MCStdErr, *mcSamples)
 	fmt.Printf("downtime:     %.1f hours/year\n", rep.DowntimePerYearHours)
 	printTrace()
+	return nil
+}
+
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name (omit for a model-only lint)")
+	svcName := fs.String("service", "", "activity name of the composite service (optional)")
+	mappingPath := fs.String("mapping", "", "service mapping XML file (optional)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	caseStudy := fs.Bool("casestudy", false, "lint the built-in USI case study (printing service, Table I mapping)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		m   *upsim.Model
+		svc *upsim.Composite
+		mp  *upsim.Mapping
+		err error
+	)
+	if *caseStudy {
+		if m, err = upsim.USIModel(); err != nil {
+			return err
+		}
+		if svc, err = upsim.USIPrintingService(m); err != nil {
+			return err
+		}
+		if _, err = upsim.USIBackupService(m); err != nil {
+			return err
+		}
+		mp = upsim.USITableIMapping()
+		*diagram = upsim.USIDiagramName
+	} else {
+		if *modelPath == "" {
+			return fmt.Errorf("lint: -model is required (or use -casestudy)")
+		}
+		if m, err = loadModel(*modelPath); err != nil {
+			return err
+		}
+		if *svcName != "" {
+			act, ok := m.Activity(*svcName)
+			if !ok {
+				return fmt.Errorf("lint: model has no activity %q", *svcName)
+			}
+			// A structurally broken activity cannot be wrapped as a composite
+			// service; lint the model anyway (the model-validate rule reports
+			// the defect) and skip only the mapping-coverage rules.
+			if svc, err = upsim.ServiceFromActivity(act); err != nil {
+				fmt.Fprintf(os.Stderr, "upsim: lint: service %q is invalid (%v); mapping-coverage rules skipped\n",
+					*svcName, err)
+				svc = nil
+			}
+		}
+		if *mappingPath != "" {
+			if mp, err = loadMapping(*mappingPath); err != nil {
+				return err
+			}
+		}
+	}
+	rep, err := upsim.Lint(m, *diagram, svc, mp)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		err = rep.EncodeJSON(os.Stdout)
+	} else {
+		err = rep.Render(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("lint: %s", rep.Summary())
+	}
 	return nil
 }
 

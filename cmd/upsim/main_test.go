@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"upsim"
 )
 
 // withArtifacts writes the built-in case-study artifacts into a temp dir and
@@ -315,5 +317,92 @@ func TestCLIProject(t *testing.T) {
 	}
 	if _, err := capture(t, func() error { return run([]string{"project", "-dir", t.TempDir()}) }); err == nil {
 		t.Error("empty dir should fail")
+	}
+}
+
+func TestCLILintCaseStudy(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"lint", "-casestudy"})
+	})
+	if err != nil {
+		t.Fatalf("pristine case study must lint clean: %v", err)
+	}
+	if !strings.Contains(out, "0 errors") {
+		t.Errorf("lint output:\n%s", out)
+	}
+}
+
+func TestCLILintFilesAndJSON(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+	out, err := capture(t, func() error {
+		return run([]string{"lint", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath})
+	})
+	if err != nil {
+		t.Fatalf("lint on exported artifacts: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 errors, 0 warnings") {
+		t.Errorf("lint output:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return run([]string{"lint", "-json", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := upsim.DecodeLintReport(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("JSON report does not decode: %v\n%s", err, out)
+	}
+	if rep.Errors != 0 || len(rep.Diagnostics) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.RulesRun < 10 {
+		t.Errorf("rulesRun = %d, want >= 10", rep.RulesRun)
+	}
+}
+
+func TestCLILintBrokenMappingExitsNonZero(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	badMapping := filepath.Join(t.TempDir(), "bad.xml")
+	const xml = `<servicemapping>
+  <atomicservice id="Request printing"><requester id="ghost"/><provider id="p2"/></atomicservice>
+</servicemapping>`
+	if err := os.WriteFile(badMapping, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"lint", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", badMapping})
+	})
+	if err == nil {
+		t.Fatal("lint accepted a mapping with a dangling requester")
+	}
+	if !strings.Contains(err.Error(), "error") {
+		t.Errorf("exit error = %v", err)
+	}
+	for _, want := range []string{"mapping-dangling-ref", "ghost", "mapping-missing-pair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLILintModelOnly(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	out, err := capture(t, func() error {
+		return run([]string{"lint", "-model", modelPath, "-diagram", "infrastructure"})
+	})
+	if err != nil {
+		t.Fatalf("model-only lint: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 errors") {
+		t.Errorf("lint output:\n%s", out)
+	}
+	// Without -model and without -casestudy the command refuses to run.
+	if _, err := capture(t, func() error { return run([]string{"lint"}) }); err == nil {
+		t.Error("lint without -model succeeded")
 	}
 }

@@ -23,6 +23,9 @@
 //	curl -s -X POST localhost:8080/api/v1/generate -d "$(jq -n \
 //	    --rawfile m usi.xml --rawfile p t1.xml \
 //	    '{modelXml:$m, diagram:"infrastructure", service:"printing", mappingXml:$p}')"
+//	curl -s -X POST localhost:8080/api/v1/lint -d "$(jq -n \
+//	    --rawfile m usi.xml --rawfile p t1.xml \
+//	    '{modelXml:$m, diagram:"infrastructure", service:"printing", mappingXml:$p}')"
 //	curl localhost:8080/metrics
 package main
 

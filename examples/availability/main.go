@@ -39,7 +39,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := gen.Generate(svc, upsim.USITableIMapping(), "upsim-t1-p2", upsim.Options{})
+	// Lint: upsim.LintFail runs the static-analysis registry before Step 6
+	// and aborts with the full report if an error-severity finding exists —
+	// e.g. a component whose class lacks the MTBF the table below reads.
+	res, err := gen.Generate(svc, upsim.USITableIMapping(), "upsim-t1-p2",
+		upsim.Options{Lint: upsim.LintFail})
 	if err != nil {
 		return err
 	}

@@ -60,7 +60,10 @@ func run() error {
 				return err
 			}
 		}
-		res, err := gen.Generate(svc, mp, "upsim-"+client, upsim.Options{})
+		// Each remapped perspective passes the lint gate before generation:
+		// a typo'd client name would surface as a mapping-dangling-ref
+		// report instead of a failed path discovery.
+		res, err := gen.Generate(svc, mp, "upsim-"+client, upsim.Options{Lint: upsim.LintFail})
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,17 @@ func run() error {
 		return err
 	}
 
+	// Pre-flight lint over model, service and mapping (internal/lint): the
+	// case study must come back free of error-severity findings.
+	lintRep, err := upsim.Lint(m, upsim.USIDiagramName, svc, upsim.USITableIMapping())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pre-flight lint: %s\n\n", lintRep.Summary())
+	if err := lintRep.Err(); err != nil {
+		return err
+	}
+
 	fmt.Println("== USI infrastructure (Figures 5/9) ==")
 	fmt.Printf("%d components, %d links\n\n", gen.Graph().NumNodes(), gen.Graph().NumEdges())
 

@@ -124,7 +124,19 @@ func run() error {
 		return err
 	}
 
-	// 4. Generate the UPSIM and analyse alice's perceived availability.
+	// 4. Pre-flight lint: every cross-artifact defect (dangling mapping
+	// references, missing MTBF/MTTR, disconnected pairs, ...) at once,
+	// before any pipeline step runs.
+	lintRep, err := upsim.Lint(m, "office", svc, mp)
+	if err != nil {
+		return err
+	}
+	fmt.Println("pre-flight lint:", lintRep.Summary())
+	if err := lintRep.Err(); err != nil {
+		return err
+	}
+
+	// 5. Generate the UPSIM and analyse alice's perceived availability.
 	gen, err := upsim.NewGenerator(m, "office")
 	if err != nil {
 		return err
@@ -147,7 +159,7 @@ func run() error {
 	fmt.Printf("user-perceived availability: %.6f (≈ %.1f h downtime/year)\n",
 		rep.Exact, rep.DowntimePerYearHours)
 
-	// 5. The UPSIM is a regular object diagram: export the whole model.
+	// 6. The UPSIM is a regular object diagram: export the whole model.
 	fmt.Println("\nModel XML written to quickstart-model.xml")
 	f, err := os.Create("quickstart-model.xml")
 	if err != nil {

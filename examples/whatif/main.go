@@ -40,7 +40,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := gen.Generate(svc, upsim.USITableIMapping(), "upsim-t1-p2", upsim.Options{})
+	// LintWarn keeps the what-if loop running on imperfect models but logs
+	// every finding through the structured logger.
+	res, err := gen.Generate(svc, upsim.USITableIMapping(), "upsim-t1-p2",
+		upsim.Options{Lint: upsim.LintWarn})
 	if err != nil {
 		return err
 	}

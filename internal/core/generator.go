@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"upsim/internal/importers"
+	"upsim/internal/lint"
 	"upsim/internal/mapping"
 	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
@@ -86,8 +87,38 @@ func (m MergeSemantics) String() string {
 	return fmt.Sprintf("MergeSemantics(%d)", uint8(m))
 }
 
+// LintMode controls the pre-flight lint gate of the generator: whether the
+// built-in rule registry (internal/lint) runs over the model, service and
+// mapping before Step 6, and what happens to its findings.
+type LintMode uint8
+
+const (
+	// LintOff skips the pre-flight lint entirely (the zero value, matching
+	// the paper's pipeline, which assumes well-formed inputs).
+	LintOff LintMode = iota
+	// LintWarn runs the linter and logs every warning- and error-severity
+	// finding through obs.Logger, but never stops the pipeline.
+	LintWarn
+	// LintFail runs the linter and aborts the generation with a *lint.Error
+	// (carrying the full report) when any error-severity finding exists.
+	LintFail
+)
+
+// String returns the lint mode name.
+func (m LintMode) String() string {
+	switch m {
+	case LintOff:
+		return "off"
+	case LintWarn:
+		return "warn"
+	case LintFail:
+		return "fail"
+	}
+	return fmt.Sprintf("LintMode(%d)", uint8(m))
+}
+
 // Options tunes the generator. The zero value reproduces the paper: DFS all
-// simple paths, induced merge, disconnected pairs are errors.
+// simple paths, induced merge, disconnected pairs are errors, no lint gate.
 type Options struct {
 	Algorithm Algorithm
 	Merge     MergeSemantics
@@ -99,6 +130,8 @@ type Options struct {
 	// AllowDisconnected produces a partial UPSIM instead of failing when an
 	// atomic service has no path between requester and provider.
 	AllowDisconnected bool
+	// Lint selects the pre-flight lint gate (LintOff, LintWarn, LintFail).
+	Lint LintMode
 }
 
 // ServicePaths records Step 7 output for one atomic service.
@@ -230,6 +263,16 @@ func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite,
 	if _, taken := g.model.Diagram(name); taken {
 		return nil, fmt.Errorf("core: model already has an object diagram named %q", name)
 	}
+
+	// Pre-flight lint gate: runs before CheckMapping so that a failing run
+	// reports every defect at once (a missing pair, a dangling reference and
+	// a disconnected pair all appear in one *lint.Error) instead of the
+	// pipeline stopping at the first.
+	if opts.Lint != LintOff {
+		if err := g.lintGate(ctx, svc, mp, name, opts.Lint); err != nil {
+			return nil, err
+		}
+	}
 	if err := svc.CheckMapping(mp); err != nil {
 		return nil, err
 	}
@@ -308,6 +351,46 @@ func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite,
 	span8.SetAttr("nodes", res.Graph.NumNodes())
 	span8.SetAttr("links", res.Graph.NumEdges())
 	return res, nil
+}
+
+// lintGate runs the built-in lint registry over the generator's artifacts.
+// In LintFail mode error-severity findings abort the generation with a
+// *lint.Error; in LintWarn mode every warning and error is logged through
+// obs.Logger and the pipeline continues.
+func (g *Generator) lintGate(ctx context.Context, svc *service.Composite, mp *mapping.Mapping, name string, mode LintMode) error {
+	_, span := obs.StartSpan(ctx, "lint.preflight")
+	defer span.End()
+	diagram, _ := g.model.Diagram(g.diagramName)
+	rep, err := lint.Default().Run(&lint.Input{
+		Model:   g.model,
+		Diagram: diagram,
+		Graph:   g.graph,
+		Service: svc,
+		Mapping: mp,
+	})
+	if err != nil {
+		return err
+	}
+	span.SetAttr("errors", rep.Errors)
+	span.SetAttr("warnings", rep.Warnings)
+	if mode == LintFail {
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("core: %s: pre-flight %w", name, err)
+		}
+		return nil
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Severity < lint.SeverityWarning {
+			continue
+		}
+		obs.Logger().Warn("lint finding",
+			"upsim", name,
+			"rule", d.Rule,
+			"severity", d.Severity.String(),
+			"element", d.Element,
+			"message", d.Message)
+	}
+	return nil
 }
 
 func (g *Generator) discover(req, prov string, opts Options) ([]pathdisc.Path, pathdisc.Stats, error) {

@@ -1,0 +1,498 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"upsim/internal/uml"
+)
+
+// rule is the built-in Rule implementation: a closure with identity,
+// severity and documentation. The emit callback stamps the rule's ID and
+// default severity on every diagnostic.
+type rule struct {
+	id       string
+	severity Severity
+	doc      string
+	check    func(in *Input, emit func(element, message, hint string))
+}
+
+// ID implements Rule.
+func (r rule) ID() string { return r.id }
+
+// Severity implements Rule.
+func (r rule) Severity() Severity { return r.severity }
+
+// Doc implements Rule.
+func (r rule) Doc() string { return r.doc }
+
+// Check implements Rule.
+func (r rule) Check(in *Input) []Diagnostic {
+	var out []Diagnostic
+	r.check(in, func(element, message, hint string) {
+		out = append(out, Diagnostic{
+			Rule:     r.id,
+			Severity: r.severity,
+			Element:  element,
+			Message:  message,
+			Hint:     hint,
+		})
+	})
+	return out
+}
+
+// builtinRules returns the shipped rule set in registration order: model
+// rules, class rules, mapping rules, service rules, topology rules.
+func builtinRules() []Rule {
+	return []Rule{
+		ruleModelValidate(),
+		ruleClassMissingAvailability(),
+		ruleClassNonPositiveAvailability(),
+		ruleMappingDanglingRef(),
+		ruleMappingMissingPair(),
+		ruleMappingUnusedPair(),
+		ruleMappingUnreachablePair(),
+		ruleServiceForkJoinArity(),
+		ruleServiceUnreachableNode(),
+		ruleServiceTooFewActions(),
+		ruleTopologyDuplicateObject(),
+		ruleTopologySelfLoop(),
+		ruleTopologyIsolatedNode(),
+		ruleTopologyParallelLinks(),
+	}
+}
+
+// ruleModelValidate adapts the structural uml.Validate pass into the
+// diagnostic format, so stereotype attributes without values and malformed
+// activities surface alongside the cross-artifact findings.
+func ruleModelValidate() Rule {
+	return rule{
+		id:       "model-validate",
+		severity: SeverityError,
+		doc:      "the UML model must pass the structural well-formedness checks of uml.Validate",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			err := in.Model.Validate()
+			if err == nil {
+				return
+			}
+			if ve, ok := uml.AsValidationError(err); ok {
+				for _, issue := range ve.Issues {
+					emit(issue.Element, issue.Problem,
+						"complete the model so that uml.Validate passes")
+				}
+				return
+			}
+			emit(fmt.Sprintf("model %q", in.Model.Name()), err.Error(), "")
+		},
+	}
+}
+
+// ruleClassMissingAvailability flags classes and associations that the
+// infrastructure diagram instantiates without the MTBF/MTTR attributes the
+// Section VII dependability analysis reads — without them, `depend` fails on
+// every UPSIM that touches the component.
+func ruleClassMissingAvailability() Rule {
+	return rule{
+		id:       "class-missing-availability",
+		severity: SeverityError,
+		doc:      "every class and association used by the topology must carry MTBF and MTTR attributes",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Diagram == nil {
+				return
+			}
+			seenClass := make(map[string]bool)
+			for _, inst := range in.Diagram.Instances() {
+				c := inst.Classifier()
+				if seenClass[c.Name()] {
+					continue
+				}
+				seenClass[c.Name()] = true
+				for _, attr := range []string{"MTBF", "MTTR"} {
+					if _, ok := c.Property(attr); !ok {
+						emit(fmt.Sprintf("class %q", c.Name()),
+							fmt.Sprintf("instantiated in diagram %q but has no %s attribute; dependability analysis of any UPSIM containing it will fail",
+								in.Diagram.Name(), attr),
+							"apply the availability profile's Device stereotype and set "+attr)
+					}
+				}
+			}
+			seenAssoc := make(map[string]bool)
+			for _, l := range in.Diagram.Links() {
+				a := l.Association()
+				if seenAssoc[a.Name()] {
+					continue
+				}
+				seenAssoc[a.Name()] = true
+				for _, attr := range []string{"MTBF", "MTTR"} {
+					if _, ok := a.Property(attr); !ok {
+						emit(fmt.Sprintf("association %q", a.Name()),
+							fmt.Sprintf("linked in diagram %q but has no %s attribute; dependability analysis of any UPSIM traversing it will fail",
+								in.Diagram.Name(), attr),
+							"apply the availability profile's Connector stereotype and set "+attr)
+					}
+				}
+			}
+		},
+	}
+}
+
+// ruleClassNonPositiveAvailability flags availability attributes whose
+// values break the renewal formula A = MTBF/(MTBF+MTTR): MTBF must be
+// positive and MTTR non-negative (depend.Availability rejects anything
+// else). A string-typed MTBF reads as 0 and is caught here too.
+func ruleClassNonPositiveAvailability() Rule {
+	return rule{
+		id:       "class-nonpositive-availability",
+		severity: SeverityError,
+		doc:      "MTBF must be positive and MTTR non-negative on every class and association used by the topology",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Diagram == nil {
+				return
+			}
+			checkValues := func(element string, prop func(string) (uml.Value, bool)) {
+				if v, ok := prop("MTBF"); ok && v.AsReal() <= 0 {
+					emit(element,
+						fmt.Sprintf("MTBF %s is not positive; availability A = MTBF/(MTBF+MTTR) is undefined", v.String()),
+						"set MTBF to the mean time between failures in hours (> 0)")
+				}
+				if v, ok := prop("MTTR"); ok && v.AsReal() < 0 {
+					emit(element,
+						fmt.Sprintf("MTTR %s is negative; a repair time cannot be negative", v.String()),
+						"set MTTR to the mean time to repair in hours (>= 0)")
+				}
+			}
+			seenClass := make(map[string]bool)
+			for _, inst := range in.Diagram.Instances() {
+				c := inst.Classifier()
+				if seenClass[c.Name()] {
+					continue
+				}
+				seenClass[c.Name()] = true
+				checkValues(fmt.Sprintf("class %q", c.Name()), c.Property)
+			}
+			seenAssoc := make(map[string]bool)
+			for _, l := range in.Diagram.Links() {
+				a := l.Association()
+				if seenAssoc[a.Name()] {
+					continue
+				}
+				seenAssoc[a.Name()] = true
+				checkValues(fmt.Sprintf("association %q", a.Name()), a.Property)
+			}
+		},
+	}
+}
+
+// ruleMappingDanglingRef flags mapping pairs naming requesters or providers
+// that are not objects of the topology — the most common hand-editing
+// mistake, which Step 6 would otherwise only surface at generation time.
+func ruleMappingDanglingRef() Rule {
+	return rule{
+		id:       "mapping-dangling-ref",
+		severity: SeverityError,
+		doc:      "every requester and provider in the mapping must be an object of the topology",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Mapping == nil || in.Graph == nil {
+				return
+			}
+			for _, p := range in.Mapping.Pairs() {
+				for _, end := range []struct{ role, name string }{
+					{"requester", p.Requester},
+					{"provider", p.Provider},
+				} {
+					if !in.Graph.HasNode(end.name) {
+						emit(fmt.Sprintf("pair %q", p.AtomicService),
+							fmt.Sprintf("%s %q is not an object of the topology", end.role, end.name),
+							"fix the component id in the mapping file or add the object to the diagram")
+					}
+				}
+			}
+		},
+	}
+}
+
+// ruleMappingMissingPair flags atomic services of the composite without a
+// mapping pair — Step 6 rejects such a mapping outright.
+func ruleMappingMissingPair() Rule {
+	return rule{
+		id:       "mapping-missing-pair",
+		severity: SeverityError,
+		doc:      "every atomic service of the composite must have a mapping pair",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Service == nil || in.Mapping == nil {
+				return
+			}
+			for _, a := range in.Service.AtomicServices() {
+				if _, ok := in.Mapping.Pair(a); !ok {
+					emit(fmt.Sprintf("atomic service %q", a),
+						fmt.Sprintf("composite service %q invokes it but the mapping has no pair for it", in.Service.Name()),
+						"add an <atomicservice> element with requester and provider ids")
+				}
+			}
+		},
+	}
+}
+
+// ruleMappingUnusedPair flags mapping pairs whose atomic service the
+// composite never invokes. The paper permits them ("they will be ignored",
+// Section VI-D), so this is a warning, not an error.
+func ruleMappingUnusedPair() Rule {
+	return rule{
+		id:       "mapping-unused-pair",
+		severity: SeverityWarning,
+		doc:      "mapping pairs should correspond to atomic services of the analysed composite",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Service == nil || in.Mapping == nil {
+				return
+			}
+			used := make(map[string]bool)
+			for _, a := range in.Service.AtomicServices() {
+				used[a] = true
+			}
+			for _, p := range in.Mapping.Pairs() {
+				if !used[p.AtomicService] {
+					emit(fmt.Sprintf("pair %q", p.AtomicService),
+						fmt.Sprintf("composite service %q never invokes this atomic service; the pair is ignored", in.Service.Name()),
+						"remove the pair or check the atomic service id for a typo")
+				}
+			}
+		},
+	}
+}
+
+// ruleMappingUnreachablePair flags pairs whose requester and provider lie in
+// different connected components of the topology: path discovery for them is
+// guaranteed to enumerate nothing. A union-find over the graph answers this
+// without enumerating a single path.
+func ruleMappingUnreachablePair() Rule {
+	return rule{
+		id:       "mapping-unreachable-pair",
+		severity: SeverityError,
+		doc:      "requester and provider of every pair must lie in the same connected component of the topology",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Mapping == nil || in.Graph == nil {
+				return
+			}
+			uf := newUnionFind(in.Graph)
+			for _, p := range in.Mapping.Pairs() {
+				if !in.Graph.HasNode(p.Requester) || !in.Graph.HasNode(p.Provider) {
+					continue // mapping-dangling-ref reports these
+				}
+				if !uf.connected(p.Requester, p.Provider) {
+					emit(fmt.Sprintf("pair %q", p.AtomicService),
+						fmt.Sprintf("requester %q and provider %q lie in different connected components; path discovery cannot find any path",
+							p.Requester, p.Provider),
+						"connect the two network segments or map the service onto reachable components")
+				}
+			}
+		},
+	}
+}
+
+// ruleServiceForkJoinArity flags activities whose total fork branch count
+// does not match the total join input count: some concurrent branch bypasses
+// the synchronisation, which usually indicates a mis-drawn diagram even when
+// the activity is structurally valid.
+func ruleServiceForkJoinArity() Rule {
+	return rule{
+		id:       "service-fork-join-arity",
+		severity: SeverityWarning,
+		doc:      "fork branch counts should match join input counts within an activity",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			for _, act := range in.Model.Activities() {
+				forkOut, joinIn := 0, 0
+				for _, n := range act.Nodes() {
+					switch n.Kind() {
+					case uml.NodeFork:
+						forkOut += len(n.Outgoing())
+					case uml.NodeJoin:
+						joinIn += len(n.Incoming())
+					}
+				}
+				if forkOut != joinIn {
+					emit(fmt.Sprintf("activity %q", act.Name()),
+						fmt.Sprintf("forks open %d concurrent branches but joins synchronise %d; a branch bypasses the join", forkOut, joinIn),
+						"route every forked branch through the matching join")
+				}
+			}
+		},
+	}
+}
+
+// ruleServiceUnreachableNode lists every activity node that control flow
+// from the initial node can never reach. Unlike Activity.Validate, which
+// stops at the first offender, the rule reports all of them at once.
+func ruleServiceUnreachableNode() Rule {
+	return rule{
+		id:       "service-unreachable-node",
+		severity: SeverityError,
+		doc:      "every activity node must be reachable from the initial node",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			for _, act := range in.Model.Activities() {
+				reached := make(map[*uml.ActivityNode]bool)
+				queue := []*uml.ActivityNode{act.Initial()}
+				reached[act.Initial()] = true
+				for len(queue) > 0 {
+					n := queue[0]
+					queue = queue[1:]
+					for _, t := range n.Outgoing() {
+						if !reached[t] {
+							reached[t] = true
+							queue = append(queue, t)
+						}
+					}
+				}
+				for _, n := range act.Nodes() {
+					if !reached[n] {
+						emit(fmt.Sprintf("activity %q", act.Name()),
+							fmt.Sprintf("node %s is unreachable from the initial node; its atomic service would never execute", n),
+							"add the missing control flow or delete the node")
+					}
+				}
+			}
+		},
+	}
+}
+
+// ruleServiceTooFewActions flags activities with fewer than two actions: a
+// composite of fewer atomic services would itself be atomic (Section II),
+// and service.FromActivity rejects it.
+func ruleServiceTooFewActions() Rule {
+	return rule{
+		id:       "service-too-few-actions",
+		severity: SeverityWarning,
+		doc:      "a composite service activity should invoke at least two atomic services",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			for _, act := range in.Model.Activities() {
+				if n := len(act.ActionNames()); n < 2 {
+					emit(fmt.Sprintf("activity %q", act.Name()),
+						fmt.Sprintf("has %d action(s); a composite service is composed of two or more atomic services", n),
+						"model the missing atomic services or drop the activity")
+				}
+			}
+		},
+	}
+}
+
+// ruleTopologyDuplicateObject flags object names that collide: the same
+// name bound to different classes across the model's diagrams, or two names
+// in one diagram differing only in case — both invite mapping files that
+// silently bind to the wrong component.
+func ruleTopologyDuplicateObject() Rule {
+	return rule{
+		id:       "topology-duplicate-object",
+		severity: SeverityWarning,
+		doc:      "object names must identify one component: no cross-diagram class conflicts, no case-only variants",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			type first struct{ diagram, class string }
+			byName := make(map[string]first)
+			for _, d := range in.Model.Diagrams() {
+				lower := make(map[string]string)
+				for _, inst := range d.Instances() {
+					ln := strings.ToLower(inst.Name())
+					if prev, ok := lower[ln]; ok {
+						emit(fmt.Sprintf("object %q", inst.Name()),
+							fmt.Sprintf("differs only in case from object %q in diagram %q", prev, d.Name()),
+							"rename one of the objects")
+					} else {
+						lower[ln] = inst.Name()
+					}
+					if prev, ok := byName[inst.Name()]; ok {
+						if prev.class != inst.Classifier().Name() {
+							emit(fmt.Sprintf("object %q", inst.Name()),
+								fmt.Sprintf("is a %s in diagram %q but a %s in diagram %q",
+									inst.Classifier().Name(), d.Name(), prev.class, prev.diagram),
+								"use distinct names for distinct components")
+						}
+					} else {
+						byName[inst.Name()] = first{diagram: d.Name(), class: inst.Classifier().Name()}
+					}
+				}
+			}
+		},
+	}
+}
+
+// ruleTopologySelfLoop flags self-loop links in the topology graph. The UML
+// layer cannot produce them, but synthetic and imported graphs can; simple
+// paths never traverse them, so they are dead weight at best.
+func ruleTopologySelfLoop() Rule {
+	return rule{
+		id:       "topology-self-loop",
+		severity: SeverityWarning,
+		doc:      "topology links must join two distinct objects",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Graph == nil {
+				return
+			}
+			for _, e := range in.Graph.Edges() {
+				if e.A == e.B {
+					emit(fmt.Sprintf("object %q", e.A),
+						"self-loop link; a connector always joins two distinct devices and no simple path traverses it",
+						"remove the link")
+				}
+			}
+		},
+	}
+}
+
+// ruleTopologyIsolatedNode flags objects without any link: they can never
+// appear in a requester→provider path and no UPSIM will ever contain them.
+func ruleTopologyIsolatedNode() Rule {
+	return rule{
+		id:       "topology-isolated-node",
+		severity: SeverityWarning,
+		doc:      "every topology object should have at least one link",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Graph == nil {
+				return
+			}
+			for _, n := range in.Graph.Nodes() {
+				if in.Graph.Degree(n.Name) == 0 {
+					emit(fmt.Sprintf("object %q", n.Name),
+						"has no links; it cannot appear in any requester→provider path",
+						"link the object into the network or remove it from the diagram")
+				}
+			}
+		},
+	}
+}
+
+// ruleTopologyParallelLinks reports redundant parallel links between the
+// same pair of objects — deliberate redundancy in the paper's core network,
+// so informational only, but worth surfacing in an inventory.
+func ruleTopologyParallelLinks() Rule {
+	return rule{
+		id:       "topology-parallel-links",
+		severity: SeverityInfo,
+		doc:      "parallel links between the same object pair model redundant physical connections",
+		check: func(in *Input, emit func(element, message, hint string)) {
+			if in.Graph == nil {
+				return
+			}
+			count := make(map[[2]string]int)
+			var order [][2]string
+			for _, e := range in.Graph.Edges() {
+				a, b := e.A, e.B
+				if a == b {
+					continue // topology-self-loop reports these
+				}
+				if b < a {
+					a, b = b, a
+				}
+				key := [2]string{a, b}
+				if count[key] == 0 {
+					order = append(order, key)
+				}
+				count[key]++
+			}
+			for _, key := range order {
+				if n := count[key]; n > 1 {
+					emit(fmt.Sprintf("objects %q and %q", key[0], key[1]),
+						fmt.Sprintf("connected by %d parallel links (redundant physical connection)", n),
+						"")
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import "upsim/internal/topology"
+
+// unionFind is a classic disjoint-set forest with union by rank and path
+// halving, used by the reachability rule: two components are connected in
+// the topology iff they share a set representative. Building it is
+// O(V + E·α(V)) — a guaranteed-empty path discovery without enumerating a
+// single path.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+// newUnionFind builds the forest of a graph's connected components.
+func newUnionFind(g *topology.Graph) *unionFind {
+	uf := &unionFind{
+		parent: make(map[string]string, g.NumNodes()),
+		rank:   make(map[string]int),
+	}
+	for _, n := range g.Nodes() {
+		uf.parent[n.Name] = n.Name
+	}
+	for _, e := range g.Edges() {
+		uf.union(e.A, e.B)
+	}
+	return uf
+}
+
+// find returns the set representative of x ("" if x is unknown), halving the
+// path on the way up.
+func (uf *unionFind) find(x string) string {
+	p, ok := uf.parent[x]
+	if !ok {
+		return ""
+	}
+	for p != x {
+		gp := uf.parent[p]
+		uf.parent[x] = gp // path halving
+		x, p = gp, uf.parent[gp]
+	}
+	return x
+}
+
+// union merges the sets of a and b.
+func (uf *unionFind) union(a, b string) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == "" || rb == "" || ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// connected reports whether a and b lie in the same connected component.
+// Unknown names are never connected.
+func (uf *unionFind) connected(a, b string) bool {
+	ra := uf.find(a)
+	return ra != "" && ra == uf.find(b)
+}

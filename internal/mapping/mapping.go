@@ -23,6 +23,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Pair is one service mapping pair: an atomic service bound to the
@@ -34,17 +35,18 @@ type Pair struct {
 	Provider      string
 }
 
-// Validate checks that all three identifiers are present and the pair does
-// not map a service onto a single component.
+// Validate checks that all three identifiers are present (names consisting
+// only of whitespace count as missing) and the pair does not map a service
+// onto a single component.
 func (p Pair) Validate() error {
-	if p.AtomicService == "" {
+	if strings.TrimSpace(p.AtomicService) == "" {
 		return fmt.Errorf("mapping: pair without atomic service id")
 	}
-	if p.Requester == "" {
-		return fmt.Errorf("mapping: pair %q without requester", p.AtomicService)
+	if strings.TrimSpace(p.Requester) == "" {
+		return fmt.Errorf("mapping: pair %q without requester id", p.AtomicService)
 	}
-	if p.Provider == "" {
-		return fmt.Errorf("mapping: pair %q without provider", p.AtomicService)
+	if strings.TrimSpace(p.Provider) == "" {
+		return fmt.Errorf("mapping: pair %q without provider id", p.AtomicService)
 	}
 	if p.Requester == p.Provider {
 		return fmt.Errorf("mapping: pair %q maps requester and provider to the same component %q",
@@ -216,20 +218,23 @@ func (m *Mapping) Encode(w io.Writer) error {
 }
 
 // Parse reads a mapping from the Figure 3 XML dialect. Every pair is
-// validated; duplicate atomic services are rejected.
+// validated at import time: empty or whitespace-only atomic service,
+// requester and provider ids and duplicate atomic-service entries are
+// rejected with an error naming the offending pair's position in the file.
 func Parse(r io.Reader) (*Mapping, error) {
 	var x xmlMapping
 	if err := xml.NewDecoder(r).Decode(&x); err != nil {
 		return nil, fmt.Errorf("mapping: parse: %w", err)
 	}
 	m := New()
-	for _, s := range x.Pairs {
+	for i, s := range x.Pairs {
 		if err := m.Add(Pair{
 			AtomicService: s.ID,
 			Requester:     s.Requester.ID,
 			Provider:      s.Provider.ID,
 		}); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mapping: parse: <atomicservice> element %d of %d: %w",
+				i+1, len(x.Pairs), err)
 		}
 	}
 	return m, nil

@@ -235,3 +235,44 @@ func TestXMLRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Whitespace-only identifiers are as useless as empty ones; Validate trims
+// before judging so "  " cannot sneak a blank name into the pipeline.
+func TestValidateRejectsWhitespaceNames(t *testing.T) {
+	cases := []struct {
+		p    Pair
+		want string
+	}{
+		{Pair{"  ", "a", "b"}, "without atomic service id"},
+		{Pair{"s", " \t", "b"}, "without requester id"},
+		{Pair{"s", "a", "\n"}, "without provider id"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) should fail", c.p)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want substring %q", c.p, err, c.want)
+		}
+	}
+}
+
+// Parse errors name the offending <atomicservice> element by position so a
+// defect in a long hand-written mapping file is findable.
+func TestParseErrorIsPositional(t *testing.T) {
+	src := `<servicemapping>
+  <atomicservice id="ok"><requester id="a"/><provider id="b"/></atomicservice>
+  <atomicservice id="bad"><requester id="  "/><provider id="b"/></atomicservice>
+</servicemapping>`
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("Parse accepted a whitespace requester")
+	}
+	for _, want := range []string{"element 2 of 2", "requester"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //	POST /api/v1/generate              generate a UPSIM
 //	POST /api/v1/availability          generate + Section VII analysis
 //	POST /api/v1/qos                   performability + responsiveness
+//	POST /api/v1/lint                  static-analysis report for model, service and mapping
 //
 // Every API route runs behind the observability middleware (request-ID
 // injection, request counter, per-route latency histogram, in-flight gauge,
@@ -34,6 +35,7 @@ import (
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
+	"upsim/internal/lint"
 	"upsim/internal/mapping"
 	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
@@ -67,6 +69,7 @@ func New() http.Handler {
 	handle("POST /api/v1/generate", "/api/v1/generate", handleGenerate)
 	handle("POST /api/v1/availability", "/api/v1/availability", handleAvailability)
 	handle("POST /api/v1/qos", "/api/v1/qos", handleQoS)
+	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -386,6 +389,79 @@ func handleQoS(w http.ResponseWriter, r *http.Request) {
 		PathsWithinBudget: rr.PathsWithinBudget,
 		PathsTotal:        rr.PathsTotal,
 	})
+}
+
+// lintRequest asks for a static-analysis report. Unlike the pipeline routes
+// it does not reuse modelInput.load: that path pre-validates the model inside
+// NewGeneratorContext and would reject exactly the broken models the linter
+// exists to report on. Only modelXml is required; diagram, service and
+// mappingXml widen the rule coverage when present.
+type lintRequest struct {
+	// ModelXML is the model in the library's XML dialect (required).
+	ModelXML string `json:"modelXml"`
+	// Diagram names the infrastructure object diagram (optional: omit for a
+	// model-only lint).
+	Diagram string `json:"diagram,omitempty"`
+	// Service names an activity of the model (optional).
+	Service string `json:"service,omitempty"`
+	// MappingXML is the Figure 3 mapping document (optional).
+	MappingXML string `json:"mappingXml,omitempty"`
+}
+
+// lintResponse wraps the report with the service resolution note (set when
+// the named activity exists but cannot be wrapped as a composite service, in
+// which case the mapping-coverage rules were skipped).
+type lintResponse struct {
+	lint.Report
+	ServiceError string `json:"serviceError,omitempty"`
+}
+
+func handleLint(w http.ResponseWriter, r *http.Request) {
+	var req lintRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.ModelXML) == "" {
+		writeError(w, http.StatusBadRequest, "modelXml is required")
+		return
+	}
+	m, err := uml.Decode(strings.NewReader(req.ModelXML))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := lintResponse{}
+	var svc *service.Composite
+	if req.Service != "" {
+		act, ok := m.Activity(req.Service)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "model has no activity %q", req.Service)
+			return
+		}
+		if svc, err = service.FromActivity(act); err != nil {
+			resp.ServiceError = err.Error()
+			svc = nil
+		}
+	}
+	var mp *mapping.Mapping
+	if strings.TrimSpace(req.MappingXML) != "" {
+		if mp, err = mapping.Parse(strings.NewReader(req.MappingXML)); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	in, err := lint.NewInput(m, req.Diagram, svc, mp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := lint.Default().Run(in)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp.Report = *rep
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func handleAvailability(w http.ResponseWriter, r *http.Request) {

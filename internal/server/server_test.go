@@ -317,3 +317,93 @@ func TestQoSEndpoint(t *testing.T) {
 		t.Errorf("default budget = %d, want 8", out.MaxHops)
 	}
 }
+
+func TestLintEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	// Pristine case study: clean report.
+	resp, body := postJSON(t, ts, "/api/v1/lint", map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lint = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Diagnostics []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Element  string `json:"element"`
+		} `json:"diagnostics"`
+		Errors   int `json:"errors"`
+		RulesRun int `json:"rulesRun"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 0 || len(out.Diagnostics) != 0 {
+		t.Errorf("case study not clean: %s", body)
+	}
+	if out.RulesRun < 10 {
+		t.Errorf("rulesRun = %d, want >= 10", out.RulesRun)
+	}
+
+	// A mapping with a dangling requester comes back 200 with the findings
+	// in the body — lint reports defects, it does not reject the request.
+	broken := strings.Replace(mappingXML, `"t1"`, `"ghost"`, 1)
+	if broken == mappingXML {
+		t.Fatalf("fixture mapping unexpectedly lacks t1: %s", mappingXML)
+	}
+	resp, body = postJSON(t, ts, "/api/v1/lint", map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": broken,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lint broken = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors == 0 {
+		t.Fatalf("dangling ref not reported: %s", body)
+	}
+	found := false
+	for _, d := range out.Diagnostics {
+		if d.Rule == "mapping-dangling-ref" && d.Severity == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mapping-dangling-ref missing: %s", body)
+	}
+}
+
+func TestLintEndpointBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, _ := fetchArtifacts(t, ts)
+	cases := []struct {
+		name string
+		req  map[string]any
+	}{
+		{"missing model", map[string]any{"diagram": "x"}},
+		{"bad model xml", map[string]any{"modelXml": "<broken"}},
+		{"unknown diagram", map[string]any{"modelXml": modelXML, "diagram": "ghost"}},
+		{"unknown service", map[string]any{"modelXml": modelXML, "service": "ghost"}},
+		{"bad mapping xml", map[string]any{"modelXml": modelXML, "mappingXml": "<broken"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts, "/api/v1/lint", c.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}

@@ -85,12 +85,12 @@ func (g *Graph) AddNode(name, class string) error {
 }
 
 // AddEdge inserts an undirected edge between two existing nodes and returns
-// its ID. Parallel edges are allowed; self-loops are not (a connector always
-// joins two distinct devices).
+// its ID. Parallel edges and self-loops are allowed — a self-loop is almost
+// certainly a modelling mistake (a connector joins two distinct devices),
+// but the graph layer represents it faithfully so the lint engine can report
+// it instead of the importer silently failing. Simple paths never traverse a
+// self-loop, so path discovery is unaffected.
 func (g *Graph) AddEdge(a, b, label string) (int, error) {
-	if a == b {
-		return 0, fmt.Errorf("topology: self-loop on %q", a)
-	}
 	if _, ok := g.nodes[a]; !ok {
 		return 0, fmt.Errorf("topology: unknown node %q", a)
 	}

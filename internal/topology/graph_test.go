@@ -79,8 +79,11 @@ func TestGraphErrors(t *testing.T) {
 	if err := g.AddNode("a", "X"); err == nil {
 		t.Error("duplicate node should fail")
 	}
-	if _, err := g.AddEdge("a", "a", ""); err == nil {
-		t.Error("self loop should fail")
+	if _, err := g.AddEdge("a", "a", ""); err != nil {
+		t.Errorf("self loop should be representable (lint reports it): %v", err)
+	}
+	if g.Degree("a") != 2 {
+		t.Errorf("self loop should count twice in degree, got %d", g.Degree("a"))
 	}
 	if _, err := g.AddEdge("a", "ghost", ""); err == nil {
 		t.Error("unknown endpoint should fail")

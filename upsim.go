@@ -36,6 +36,7 @@ import (
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
+	"upsim/internal/lint"
 	"upsim/internal/mapping"
 	"upsim/internal/modelgen"
 	"upsim/internal/obs"
@@ -370,6 +371,64 @@ func USIBackupMapping() *Mapping { return casestudy.BackupMapping() }
 // Bounds holds the Esary–Proschan availability bounds returned by
 // ServiceStructure.EsaryProschan.
 type Bounds = depend.Bounds
+
+// --- Linting (internal/lint) ---
+
+// Lint types: the static-analysis engine over the four model artifacts.
+type (
+	// LintRule is one static-analysis check (ID, severity, doc, Check).
+	LintRule = lint.Rule
+	// LintRegistry is an ordered rule set; extend Default with Register.
+	LintRegistry = lint.Registry
+	// LintInput bundles the artifacts one lint run analyses.
+	LintInput = lint.Input
+	// LintDiagnostic is one finding (rule, severity, element, message, hint).
+	LintDiagnostic = lint.Diagnostic
+	// LintReport aggregates the findings of one run, errors first.
+	LintReport = lint.Report
+	// LintSeverity grades a diagnostic (info, warning, error).
+	LintSeverity = lint.Severity
+)
+
+// Lint severity levels.
+const (
+	LintInfo    = lint.SeverityInfo
+	LintWarning = lint.SeverityWarning
+	LintError   = lint.SeverityError
+)
+
+// Lint-gate modes for Options.Lint (pre-flight lint inside Generate).
+const (
+	LintOff  = core.LintOff
+	LintWarn = core.LintWarn
+	LintFail = core.LintFail
+)
+
+// Lint runs every built-in rule over a model, its named infrastructure
+// diagram (may be empty for model-only runs), a composite service and a
+// mapping (both may be nil) and returns the aggregated report. It never
+// fails on findings — inspect Report.HasErrors or use Report.Err.
+func Lint(m *Model, diagramName string, svc *Composite, mp *Mapping) (*LintReport, error) {
+	in, err := lint.NewInput(m, diagramName, svc, mp)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Default().Run(in)
+}
+
+// LintRules returns the built-in rule set in registration order.
+func LintRules() []LintRule { return lint.Default().Rules() }
+
+// NewLintRegistry returns a registry preloaded with the built-in rules;
+// callers may Register additional project-specific rules and Run it.
+func NewLintRegistry() *LintRegistry { return lint.Default() }
+
+// AsLintError extracts the lint report carried by an error returned from a
+// LintFail-gated generation.
+func AsLintError(err error) (*lint.Error, bool) { return lint.AsError(err) }
+
+// DecodeLintReport reads a report previously written by LintReport.EncodeJSON.
+func DecodeLintReport(r io.Reader) (*LintReport, error) { return lint.DecodeReport(r) }
 
 // --- Observability (internal/obs) ---
 

@@ -323,3 +323,76 @@ func TestCloneModel(t *testing.T) {
 		t.Errorf("clone UPSIM size = %d", got)
 	}
 }
+
+// TestFacadeLint asserts the published case study stays free of
+// error-severity findings — the same invariant CI enforces via
+// `upsim lint -casestudy` — and exercises the facade's JSON round trip.
+func TestFacadeLint(t *testing.T) {
+	m, err := USIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := USIPrintingService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Lint(m, USIDiagramName, svc, USITableIMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("USI case study has lint findings: %s", rep.Summary())
+	}
+	if rep.RulesRun < 10 {
+		t.Errorf("rules run = %d, want >= 10", rep.RulesRun)
+	}
+	if err := rep.Err(); err != nil {
+		t.Errorf("clean report Err() = %v", err)
+	}
+	if len(LintRules()) != rep.RulesRun {
+		t.Errorf("LintRules() = %d rules, report says %d", len(LintRules()), rep.RulesRun)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeLintReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RulesRun != rep.RulesRun || !back.Clean() {
+		t.Errorf("round trip changed the report: %+v", back)
+	}
+
+	// The backup service shares the mapping-coverage rules but has its own
+	// mapping; it must lint clean too.
+	backup, err := USIBackupService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Lint(m, USIDiagramName, backup, USIBackupMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasErrors() {
+		t.Errorf("backup service lint: %s", rep.Summary())
+	}
+
+	// A deliberately broken mapping surfaces through AsLintError.
+	mp := USITableIMapping()
+	if err := mp.Remap("Request printing", "ghost", "printS"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Lint(m, USIDiagramName, svc, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lerr, ok := AsLintError(rep.Err())
+	if !ok || lerr.Report.Errors == 0 {
+		t.Errorf("AsLintError = %v, %v", lerr, ok)
+	}
+	if !strings.Contains(lerr.Error(), "mapping-dangling-ref") {
+		t.Errorf("error text = %q", lerr.Error())
+	}
+}
