@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity]
+//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache]
+//	            [-bench-out BENCH_cache.json]
 package main
 
 import (
@@ -31,7 +32,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity)")
+	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache)")
+	flag.StringVar(&benchOut, "bench-out", "BENCH_cache.json", "file for the cache experiment's JSON record (empty disables)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -66,6 +68,7 @@ func experimentsList() []experiment {
 		{"cloud", "§VIII future work — fat-tree cloud infrastructure", expCloud},
 		{"scaling", "Section V-D — path discovery scalability", expScaling},
 		{"dynamicity", "Section V-A3 — dynamicity scenarios", expDynamicity},
+		{"cache", "Extension — content-addressed cache & concurrent discovery", expCache},
 	}
 }
 

@@ -49,6 +49,7 @@ func TestFastExperiments(t *testing.T) {
 		"dynamicity":  {"user mobility", "perceived-infrastructure diff"},
 		"sensitivity": {"dA/dMTBF", "Comp"},
 		"cloud":       {"fat-tree k=4", "valley-free"},
+		"cache":       {"warm speedup", "singleflight: 16 goroutines, 1 computed, 15 reused"},
 	}
 	for id, markers := range wants {
 		id, markers := id, markers
@@ -83,7 +84,7 @@ func TestExperimentListComplete(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	if len(seen) != 19 {
-		t.Errorf("experiments = %d, want 19", len(seen))
+	if len(seen) != 20 {
+		t.Errorf("experiments = %d, want 20", len(seen))
 	}
 }

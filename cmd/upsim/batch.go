@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"upsim"
+	"upsim/internal/server"
+)
+
+// batchFile is the on-disk request format of `upsim batch`: the HTTP
+// BatchRequest schema (POST /api/v1/batch), with two CLI conveniences per
+// item — modelFile/mappingFile load the XML from disk (relative paths
+// resolve against the request file's directory) instead of inlining it.
+type batchFile struct {
+	Items   []batchFileItem `json:"items"`
+	Workers int             `json:"workers,omitempty"`
+}
+
+// batchFileItem is one request item; the embedded server.BatchItem fields
+// appear inline in the JSON.
+type batchFileItem struct {
+	server.BatchItem
+	ModelFile   string `json:"modelFile,omitempty"`
+	MappingFile string `json:"mappingFile,omitempty"`
+}
+
+// resolve loads the *File convenience fields into the wire fields.
+func (it *batchFileItem) resolve(baseDir string) error {
+	load := func(path string, dst *string, inlineSet bool, what string) error {
+		if path == "" {
+			return nil
+		}
+		if inlineSet {
+			return fmt.Errorf("both %sXml and %sFile are set", what, what)
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		*dst = string(b)
+		return nil
+	}
+	if err := load(it.ModelFile, &it.ModelXML, strings.TrimSpace(it.ModelXML) != "", "model"); err != nil {
+		return err
+	}
+	return load(it.MappingFile, &it.MappingXML, strings.TrimSpace(it.MappingXML) != "", "mapping")
+}
+
+// cmdBatch executes a batch request file in-process: the same fan-out and
+// shared cache as POST /api/v1/batch, without a daemon.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	reqPath := fs.String("req", "", "batch request file (JSON; see README 'Batch API')")
+	workers := fs.Int("workers", 0, "worker pool bound (0 = request file's value, then GOMAXPROCS)")
+	cacheSize := fs.Int("cache-size", 0, "generation cache capacity in entries (0 = default 128)")
+	outPath := fs.String("out", "", "write the JSON response to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reqPath == "" {
+		return fmt.Errorf("batch: -req is required")
+	}
+	raw, err := os.ReadFile(*reqPath)
+	if err != nil {
+		return err
+	}
+	var bf batchFile
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bf); err != nil {
+		return fmt.Errorf("batch: parsing %s: %w", *reqPath, err)
+	}
+	baseDir := filepath.Dir(*reqPath)
+	req := server.BatchRequest{Workers: bf.Workers, Items: make([]server.BatchItem, len(bf.Items))}
+	for i := range bf.Items {
+		if err := bf.Items[i].resolve(baseDir); err != nil {
+			return fmt.Errorf("batch: item %d: %w", i, err)
+		}
+		req.Items[i] = bf.Items[i].BatchItem
+	}
+
+	resp, err := server.RunBatch(context.Background(), upsim.NewCache(*cacheSize), *workers, &req)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d items, %d errors, cache %s\n", len(resp.Results), resp.Errors, resp.Cache)
+	if resp.Errors > 0 {
+		return fmt.Errorf("batch: %d of %d items failed", resp.Errors, len(resp.Results))
+	}
+	return nil
+}

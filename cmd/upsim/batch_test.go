@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"upsim/internal/server"
+)
+
+// writeBatchFile writes a request file next to the case-study artifacts so
+// that relative modelFile/mappingFile paths resolve.
+func writeBatchFile(t *testing.T, dir string, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, "requests.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIBatch(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	dir := filepath.Dir(modelPath)
+	reqPath := writeBatchFile(t, dir, `{
+	  "workers": 2,
+	  "items": [
+	    {"modelFile": "usi.xml", "diagram": "infrastructure", "service": "printing", "mappingFile": "t1.xml", "name": "upsim"},
+	    {"op": "qos", "modelFile": "usi.xml", "diagram": "infrastructure", "service": "printing", "mappingFile": "t1.xml", "name": "upsim"},
+	    {"op": "availability", "mcSamples": 1000, "modelFile": "usi.xml", "diagram": "infrastructure", "service": "printing", "mappingFile": "t1.xml", "name": "upsim"}
+	  ]
+	}`)
+	outPath := filepath.Join(dir, "resp.json")
+	if err := run([]string{"batch", "-req", reqPath, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors != 0 || len(resp.Results) != 3 {
+		t.Fatalf("response = %d results, %d errors; body %s", len(resp.Results), resp.Errors, raw)
+	}
+	// The three ops share one generate input: one pipeline run, two reuses.
+	if resp.Cache.Misses != 1 || resp.Cache.Hits+resp.Cache.Shared != 2 {
+		t.Errorf("cache = %s; want 1 miss, 2 hits+shared", resp.Cache)
+	}
+}
+
+func TestCLIBatchStdoutAndErrors(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	dir := filepath.Dir(modelPath)
+
+	// A failing item must surface in the output and flip the exit status.
+	reqPath := writeBatchFile(t, dir, `{
+	  "items": [
+	    {"modelFile": "usi.xml", "diagram": "infrastructure", "service": "ghost", "mappingFile": "t1.xml"}
+	  ]
+	}`)
+	out, err := capture(t, func() error {
+		return run([]string{"batch", "-req", reqPath})
+	})
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 items failed") {
+		t.Fatalf("err = %v, want failed-items error", err)
+	}
+	if !strings.Contains(out, `no activity \"ghost\"`) {
+		t.Errorf("stdout lacks the item error: %s", out)
+	}
+}
+
+func TestCLIBatchValidation(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	dir := filepath.Dir(modelPath)
+
+	if err := run([]string{"batch"}); err == nil || !strings.Contains(err.Error(), "-req is required") {
+		t.Errorf("missing -req: err = %v", err)
+	}
+	if err := run([]string{"batch", "-req", filepath.Join(dir, "absent.json")}); err == nil {
+		t.Error("missing request file must fail")
+	}
+	both := writeBatchFile(t, dir, `{
+	  "items": [
+	    {"modelXml": "<x/>", "modelFile": "usi.xml", "diagram": "infrastructure", "service": "printing", "mappingFile": "t1.xml"}
+	  ]
+	}`)
+	if err := run([]string{"batch", "-req", both}); err == nil || !strings.Contains(err.Error(), "both modelXml and modelFile") {
+		t.Errorf("conflicting model sources: err = %v", err)
+	}
+	unknown := writeBatchFile(t, dir, `{"items": [{"bogus": 1}]}`)
+	if err := run([]string{"batch", "-req", unknown}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown field: err = %v", err)
+	}
+}

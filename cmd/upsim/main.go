@@ -16,6 +16,7 @@
 //	upsim lint       -model usi.xml -diagram infrastructure -service printing \
 //	                 -mapping table1.xml [-json]
 //	upsim lint       -casestudy
+//	upsim batch      -req requests.json [-workers 4] [-cache-size 128] [-out resp.json]
 //
 // The -trace flag on paths, generate and avail prints the pipeline span
 // tree (one span per methodology step, with wall times and attributes)
@@ -88,6 +89,8 @@ func run(args []string) error {
 		return cmdRBD(args[1:])
 	case "project":
 		return cmdProject(args[1:])
+	case "batch":
+		return cmdBatch(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -110,6 +113,7 @@ commands:
   query       run a VTCL-style pattern against the imported model space
   rbd         generate and render the reliability block diagram of a UPSIM
   project     init or inspect a workspace directory (model + mappings + patterns)
+  batch       execute a JSON batch request file through the shared generation cache
 
 run 'upsim <command> -h' for per-command flags`)
 }

@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	upsimd [-addr :8080] [-pprof] [-drain 10s] [-log-level info] [-log-json]
+//	upsimd [-addr :8080] [-cache-size 128] [-batch-workers 0] [-pprof]
+//	       [-drain 10s] [-log-level info] [-log-json]
+//
+// Caching:
+//
+// The generation-backed routes (generate, availability, qos, batch) share
+// one content-addressed result cache of -cache-size entries (LRU); repeated
+// identical requests skip the pipeline and concurrent identical requests
+// compute once. Watch upsim_cache_*_total on GET /metrics.
 //
 // Observability:
 //
@@ -49,16 +57,20 @@ import (
 
 // config carries the daemon flags; a struct so tests can drive run directly.
 type config struct {
-	addr     string
-	pprof    bool
-	drain    time.Duration
-	logLevel string
-	logJSON  bool
+	addr         string
+	cacheSize    int
+	batchWorkers int
+	pprof        bool
+	drain        time.Duration
+	logLevel     string
+	logJSON      bool
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "generation cache capacity in entries (0 = default 128)")
+	flag.IntVar(&cfg.batchWorkers, "batch-workers", 0, "worker pool bound for /api/v1/batch (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error")
@@ -101,7 +113,10 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/", server.LoggingMiddleware(server.New()))
+	mux.Handle("/", server.LoggingMiddleware(server.NewWithConfig(server.Config{
+		CacheSize:    cfg.cacheSize,
+		BatchWorkers: cfg.batchWorkers,
+	})))
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

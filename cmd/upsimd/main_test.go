@@ -2,11 +2,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -118,5 +121,49 @@ func TestBadLogLevel(t *testing.T) {
 	err := run(context.Background(), config{addr: "127.0.0.1:0", logLevel: "shouting"}, nil)
 	if err == nil || !strings.Contains(fmt.Sprint(err), "log-level") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestCacheMetricsExposed verifies the -cache-size wiring end to end: two
+// identical generate requests against the daemon, then /metrics reports the
+// cache hit.
+func TestCacheMetricsExposed(t *testing.T) {
+	base, cancel, errc := startDaemon(t, config{cacheSize: 4, batchWorkers: 2})
+	defer func() { cancel(); <-errc }()
+
+	_, modelXML := get(t, base+"/api/v1/casestudy/model")
+	_, mappingXML := get(t, base+"/api/v1/casestudy/mapping")
+	req, err := json.Marshal(map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    "infrastructure",
+		"service":    "printing",
+		"mappingXml": mappingXML,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/api/v1/generate", "application/json", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate %d = %d: %.200s", i, resp.StatusCode, body)
+		}
+	}
+	_, metrics := get(t, base+"/metrics")
+	for _, name := range []string{
+		"upsim_cache_hits_total", "upsim_cache_misses_total",
+		"upsim_cache_evictions_total", "upsim_cache_singleflight_shared_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("metrics lack %s", name)
+		}
+	}
+	hit := regexp.MustCompile(`(?m)^upsim_cache_hits_total ([0-9]+)$`).FindStringSubmatch(metrics)
+	if hit == nil || hit[1] == "0" {
+		t.Errorf("warm generate did not count a cache hit:\n%s", metrics)
 	}
 }

@@ -18,7 +18,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
+	"upsim/internal/cache"
 	"upsim/internal/importers"
 	"upsim/internal/lint"
 	"upsim/internal/mapping"
@@ -118,20 +121,54 @@ func (m LintMode) String() string {
 }
 
 // Options tunes the generator. The zero value reproduces the paper: DFS all
-// simple paths, induced merge, disconnected pairs are errors, no lint gate.
+// simple paths (AlgoRecursive), induced merge (MergeInduced), unbounded
+// enumeration, disconnected pairs are errors, and no lint gate (LintOff).
+// Every default below is asserted by TestOptionsZeroValueDefaults.
 type Options struct {
+	// Algorithm selects the Step 7 path-discovery variant. The zero value
+	// AlgoRecursive is the paper's recursive DFS with path tracking.
 	Algorithm Algorithm
-	Merge     MergeSemantics
+	// Merge selects the Step 8 merge semantics. The zero value MergeInduced
+	// is the paper's Section VI-H filter (keep every infrastructure link
+	// whose both endpoints appear in some path).
+	Merge MergeSemantics
 	// Paths tunes the enumeration (depth/count bounds, parallel-edge
-	// collapsing).
+	// collapsing). The zero value enumerates unbounded, without collapsing.
 	Paths pathdisc.Options
-	// Workers sets the pool size for AlgoParallel (0 = one per branch).
+	// Workers sets the pool size for AlgoParallel (0, the default, spawns
+	// one worker per first-hop branch of the requester).
 	Workers int
+	// DiscoveryWorkers bounds the worker pool that runs the per-atomic-
+	// service discovery loop of Step 7 concurrently. 0 (the default) sizes
+	// the pool to min(GOMAXPROCS, number of atomic services); 1 forces the
+	// sequential loop; larger values cap the pool. The Result is
+	// deterministic regardless of pool size: per-service path sets keep the
+	// composite's execution order.
+	DiscoveryWorkers int
 	// AllowDisconnected produces a partial UPSIM instead of failing when an
-	// atomic service has no path between requester and provider.
+	// atomic service has no path between requester and provider. The
+	// default (false) makes a disconnected pair an error.
 	AllowDisconnected bool
-	// Lint selects the pre-flight lint gate (LintOff, LintWarn, LintFail).
+	// Lint selects the pre-flight lint gate. The zero value LintOff skips
+	// linting entirely, matching the paper's pipeline; LintWarn logs
+	// findings, LintFail aborts on error-severity findings.
 	Lint LintMode
+}
+
+// discoveryWorkers resolves the effective Step 7 pool size for n atomic
+// services.
+func (o Options) discoveryWorkers(n int) int {
+	w := o.DiscoveryWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // ServicePaths records Step 7 output for one atomic service.
@@ -183,12 +220,23 @@ func (r *Result) NodeNames() []string { return r.Graph.NodeNames() }
 // times with different services, mappings and perspectives against the same
 // imported infrastructure, which is exactly the dynamicity argument of
 // Section V-A3 (only the mapping changes between user perspectives).
+//
+// A Generator is safe for concurrent use: an internal mutex serialises the
+// pipeline's model-space and model mutations, so concurrent Generate calls
+// with distinct inputs queue, while — with a cache attached (WithCache) —
+// concurrent identical calls collapse into one computation via singleflight
+// and the rest share the cached Result.
 type Generator struct {
 	model       *uml.Model
 	diagramName string
 	space       *vpm.ModelSpace
 	graph       *topology.Graph
+
+	mu          sync.Mutex // guards the fields below and the pipeline's mutations
 	mappingSeq  int
+	cache       *cache.Cache
+	modelDigest string // canonical model hash, fixed at WithCache time
+	digestErr   error
 }
 
 // NewGenerator imports the model into a fresh model space (Step 5) and
@@ -253,6 +301,12 @@ func (g *Generator) Generate(svc *service.Composite, mp *mapping.Mapping, name s
 // span, each pipeline stage (Step 6 mapping import, Step 7 path discovery
 // with one child span per atomic service, Step 8 merge) is recorded with
 // its wall time and outcome attributes.
+//
+// With a cache attached (WithCache), the request is content-addressed first
+// (CacheKey): a hit returns the shared, immutable Result without running
+// any pipeline step — the trace then carries a single "cache" span instead
+// of the step6/step7/step8 stages — and concurrent identical misses compute
+// once (singleflight). Errors are never cached.
 func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite, mp *mapping.Mapping, name string, opts Options) (*Result, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("core: nil service")
@@ -260,6 +314,32 @@ func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite,
 	if name == "" {
 		return nil, fmt.Errorf("core: empty UPSIM name")
 	}
+	if c := g.Cache(); c != nil {
+		key, err := g.CacheKey(svc, mp, name, opts)
+		if err != nil {
+			return nil, err
+		}
+		v, outcome, err := c.Do(ctx, key, func() (any, error) {
+			return g.generate(ctx, svc, mp, name, opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if outcome != cache.OutcomeMiss {
+			_, sp := obs.StartSpan(ctx, "cache")
+			sp.SetAttr("outcome", outcome.String())
+			sp.SetAttr("key", key[:12])
+			sp.End()
+		}
+		return v.(*Result), nil
+	}
+	return g.generate(ctx, svc, mp, name, opts)
+}
+
+// generate runs the actual Step 6–8 pipeline under the generator mutex.
+func (g *Generator) generate(ctx context.Context, svc *service.Composite, mp *mapping.Mapping, name string, opts Options) (*Result, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, taken := g.model.Diagram(name); taken {
 		return nil, fmt.Errorf("core: model already has an object diagram named %q", name)
 	}
@@ -295,7 +375,13 @@ func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite,
 	span6.SetAttr("pairs", len(mp.Pairs()))
 	span6.End()
 
-	// Step 7: path discovery per atomic service, in execution order.
+	// Step 7: path discovery per atomic service. Pair resolution stays
+	// sequential (it reads the model space); the discoveries themselves fan
+	// out over a bounded worker pool (Options.DiscoveryWorkers) against the
+	// read-only topology graph. Tasks are claimed in execution order and
+	// results assembled by index, so the Result — including the first error
+	// reported when several pairs fail — is identical to the sequential
+	// loop's, whatever the pool size.
 	ctx7, span7 := obs.StartSpan(ctx, "step7.pathdisc")
 	defer span7.End()
 	span7.SetAttr("algorithm", opts.Algorithm.String())
@@ -304,33 +390,70 @@ func (g *Generator) GenerateContext(ctx context.Context, svc *service.Composite,
 		return nil, err
 	}
 	res := &Result{Name: name}
-	for _, p := range pairs {
+	sps := make([]ServicePaths, len(pairs))
+	for i, p := range pairs {
 		req, prov, err := importers.ResolvePair(g.space, mappingName, p.AtomicService)
 		if err != nil {
 			return nil, err
 		}
-		sp := ServicePaths{
+		sps[i] = ServicePaths{
 			AtomicService: p.AtomicService,
 			Requester:     req.Name(),
 			Provider:      prov.Name(),
 		}
-		_, svcSpan := obs.StartSpan(ctx7, p.AtomicService)
-		sp.Paths, sp.Stats, err = g.discover(req.Name(), prov.Name(), opts)
-		svcSpan.SetAttr("paths", sp.Stats.Paths)
-		svcSpan.SetAttr("edge_visits", sp.Stats.EdgeVisits)
-		svcSpan.SetAttr("nodes_visited", sp.Stats.NodeVisits)
-		svcSpan.SetAttr("max_stack", sp.Stats.MaxStack)
-		svcSpan.End()
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: atomic service %q: %w", name, p.AtomicService, err)
+	}
+	workers := opts.discoveryWorkers(len(pairs))
+	span7.SetAttr("workers", workers)
+	wctx, cancelDiscovery := context.WithCancel(ctx7)
+	defer cancelDiscovery()
+	var (
+		wg    sync.WaitGroup
+		tasks = make(chan int)
+		errs  = make([]error, len(pairs))
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				// A cancelled context (caller gave up, or an earlier pair
+				// failed) skips the remaining discoveries.
+				if err := wctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				sp := &sps[i]
+				_, svcSpan := obs.StartSpan(wctx, sp.AtomicService)
+				var derr error
+				sp.Paths, sp.Stats, derr = g.discover(sp.Requester, sp.Provider, opts)
+				svcSpan.SetAttr("paths", sp.Stats.Paths)
+				svcSpan.SetAttr("edge_visits", sp.Stats.EdgeVisits)
+				svcSpan.SetAttr("nodes_visited", sp.Stats.NodeVisits)
+				svcSpan.SetAttr("max_stack", sp.Stats.MaxStack)
+				svcSpan.End()
+				if derr != nil {
+					errs[i] = fmt.Errorf("core: %s: atomic service %q: %w", name, sp.AtomicService, derr)
+					cancelDiscovery()
+				}
+			}
+		}()
+	}
+	for i := range pairs {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	for i := range sps {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if len(sp.Paths) == 0 && !opts.AllowDisconnected {
+		if len(sps[i].Paths) == 0 && !opts.AllowDisconnected {
 			return nil, fmt.Errorf("core: %s: atomic service %q: no path between requester %q and provider %q",
-				name, p.AtomicService, req.Name(), prov.Name())
+				name, sps[i].AtomicService, sps[i].Requester, sps[i].Provider)
 		}
-		res.Services = append(res.Services, sp)
-		res.TotalPaths += len(sp.Paths)
-		res.EdgeVisits += sp.Stats.EdgeVisits
+		res.Services = append(res.Services, sps[i])
+		res.TotalPaths += len(sps[i].Paths)
+		res.EdgeVisits += sps[i].Stats.EdgeVisits
 	}
 	span7.SetAttr("paths", res.TotalPaths)
 	span7.SetAttr("edge_visits", res.EdgeVisits)

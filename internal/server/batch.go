@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"upsim/internal/cache"
+)
+
+// MaxBatchItems bounds one POST /api/v1/batch request.
+const MaxBatchItems = 256
+
+// Batch operations. An empty op defaults to OpGenerate.
+const (
+	OpGenerate     = "generate"
+	OpAvailability = "availability"
+	OpQoS          = "qos"
+)
+
+// BatchItem is one generation-backed request inside a batch. The fields
+// mirror the single-request routes: every item carries the generate inputs
+// (modelXml, diagram, service, mappingXml, name, allowDisconnected); the
+// availability knobs (formula1, mcSamples, seed) and the qos knob (maxHops)
+// apply only to their respective ops and are ignored otherwise.
+type BatchItem struct {
+	Op                string `json:"op,omitempty"`
+	ModelXML          string `json:"modelXml"`
+	Diagram           string `json:"diagram"`
+	Service           string `json:"service"`
+	MappingXML        string `json:"mappingXml"`
+	Name              string `json:"name,omitempty"`
+	AllowDisconnected bool   `json:"allowDisconnected,omitempty"`
+	Formula1          bool   `json:"formula1,omitempty"`
+	MCSamples         int    `json:"mcSamples,omitempty"`
+	Seed              int64  `json:"seed,omitempty"`
+	MaxHops           int    `json:"maxHops,omitempty"`
+}
+
+// BatchRequest is the POST /api/v1/batch body.
+type BatchRequest struct {
+	// Items are executed concurrently across the worker pool; items with
+	// identical generate inputs share one pipeline run through the cache.
+	Items []BatchItem `json:"items"`
+	// Workers overrides the server's batch pool size for this request
+	// (<= 0 keeps the server default).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResult is the outcome of one item, at the item's index. Exactly one
+// of Result and Error is set.
+type BatchResult struct {
+	Index  int    `json:"index"`
+	Op     string `json:"op"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /api/v1/batch reply.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	// Errors counts failed items (the HTTP status stays 200; per-item
+	// failures are data, not transport errors).
+	Errors int `json:"errors"`
+	// Cache snapshots the shared cache after the batch, so a client can see
+	// how much of its fan-out was deduplicated.
+	Cache cache.Stats `json:"cache"`
+}
+
+// RunBatch fans req.Items out across a bounded worker pool, routing every
+// pipeline run through the shared cache c: items with identical generate
+// inputs compute once (concurrent ones via singleflight) and share the
+// Result. Results arrive at their item's index, so output order is
+// deterministic regardless of pool size. RunBatch is exported for the
+// `upsim batch` subcommand, which executes request files in-process against
+// its own cache.
+func RunBatch(ctx context.Context, c *cache.Cache, workers int, req *BatchRequest) (*BatchResponse, error) {
+	if len(req.Items) == 0 {
+		return nil, fmt.Errorf("batch: items is required")
+	}
+	if len(req.Items) > MaxBatchItems {
+		return nil, fmt.Errorf("batch: %d items exceed the limit of %d", len(req.Items), MaxBatchItems)
+	}
+	if req.Workers > 0 {
+		workers = req.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+
+	results := make([]BatchResult, len(req.Items))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				results[i] = runBatchItem(ctx, c, i, &req.Items[i])
+			}
+		}()
+	}
+	for i := range req.Items {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+
+	resp := &BatchResponse{Results: results, Cache: c.Stats()}
+	for i := range results {
+		if results[i].Error != "" {
+			resp.Errors++
+		}
+	}
+	return resp, nil
+}
+
+// runBatchItem executes one item. A cancelled ctx fails remaining items fast
+// (the pipeline itself also honours ctx).
+func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) BatchResult {
+	out := BatchResult{Index: i, Op: it.Op}
+	if out.Op == "" {
+		out.Op = OpGenerate
+	}
+	if err := ctx.Err(); err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	switch out.Op {
+	case OpGenerate, OpAvailability, OpQoS:
+	default:
+		out.Error = fmt.Sprintf("unknown op %q (want %s, %s or %s)", it.Op, OpGenerate, OpAvailability, OpQoS)
+		return out
+	}
+	greq := &generateRequest{
+		modelInput:        modelInput{ModelXML: it.ModelXML, Diagram: it.Diagram},
+		Service:           it.Service,
+		MappingXML:        it.MappingXML,
+		Name:              it.Name,
+		AllowDisconnected: it.AllowDisconnected,
+	}
+	res, err := greq.generate(ctx, c)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	switch out.Op {
+	case OpGenerate:
+		out.Result = buildGenerateResponse(res)
+	case OpAvailability:
+		resp, err := analyzeAvailability(ctx, res, it.Formula1, it.MCSamples, it.Seed)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Result = resp
+	case OpQoS:
+		resp, err := analyzeQoS(res, it.MaxHops)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Result = resp
+	}
+	return out
+}
+
+func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := RunBatch(r.Context(), a.cache, a.batchWorkers, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

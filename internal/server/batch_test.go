@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"upsim/internal/cache"
+	"upsim/internal/casestudy"
+)
+
+func batchItem(modelXML, mappingXML, op, name string) map[string]any {
+	it := map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+		"name":       name,
+	}
+	if op != "" {
+		it["op"] = op
+	}
+	if op == "availability" {
+		it["mcSamples"] = 1000
+	}
+	return it
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	resp, body := postJSON(t, ts, "/api/v1/batch", map[string]any{
+		"items": []map[string]any{
+			batchItem(modelXML, mappingXML, "", "upsim"),
+			batchItem(modelXML, mappingXML, "availability", "upsim"),
+			batchItem(modelXML, mappingXML, "qos", "upsim"),
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 0 {
+		t.Fatalf("errors = %d, body %s", out.Errors, body)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+	wantOps := []string{"generate", "availability", "qos"}
+	for i, r := range out.Results {
+		if r.Index != i || r.Op != wantOps[i] {
+			t.Errorf("result[%d] = index %d op %q, want index %d op %q", i, r.Index, r.Op, i, wantOps[i])
+		}
+		if r.Error != "" {
+			t.Errorf("result[%d] error: %s", i, r.Error)
+		}
+		if r.Result == nil {
+			t.Errorf("result[%d] has no payload", i)
+		}
+	}
+	// All three ops share one generate input, so the pipeline ran once: one
+	// miss, two hits-or-shares.
+	if out.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (three identical generate inputs)", out.Cache.Misses)
+	}
+	if out.Cache.Hits+out.Cache.Shared != 2 {
+		t.Errorf("cache hits+shared = %d+%d, want 2", out.Cache.Hits, out.Cache.Shared)
+	}
+}
+
+// TestBatchDedupAndWarmCache asserts the advertised fan-out semantics: N
+// identical items compute once within a batch, and a repeated batch is
+// served entirely from the warm cache.
+func TestBatchDedupAndWarmCache(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	const n = 8
+	items := make([]map[string]any, n)
+	for i := range items {
+		items[i] = batchItem(modelXML, mappingXML, "", "upsim")
+	}
+	req := map[string]any{"items": items, "workers": 4}
+
+	resp, body := postJSON(t, ts, "/api/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var cold BatchResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Errors != 0 {
+		t.Fatalf("cold errors = %d, body %s", cold.Errors, body)
+	}
+	if cold.Cache.Misses != 1 || cold.Cache.Hits+cold.Cache.Shared != n-1 {
+		t.Errorf("cold cache = %s; want 1 miss and %d hits+shared", cold.Cache, n-1)
+	}
+
+	resp, body = postJSON(t, ts, "/api/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status = %d, body %s", resp.StatusCode, body)
+	}
+	var warm BatchResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Misses != 1 {
+		t.Errorf("warm batch recomputed: misses = %d, want still 1", warm.Cache.Misses)
+	}
+	if warm.Cache.Hits < uint64(n) {
+		t.Errorf("warm batch hits = %d, want >= %d", warm.Cache.Hits, n)
+	}
+}
+
+// TestSingleRoutesShareBatchCache asserts that /api/v1/generate and the
+// batch route run through the same cache instance.
+func TestSingleRoutesShareBatchCache(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	single := map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+		"name":       "upsim",
+	}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts, "/api/v1/generate", single); resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postJSON(t, ts, "/api/v1/batch", map[string]any{
+		"items": []map[string]any{batchItem(modelXML, mappingXML, "", "upsim")},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	// First single post missed, second hit, batch item hit again.
+	if out.Cache.Misses != 1 || out.Cache.Hits != 2 {
+		t.Errorf("cache = %s; want 1 miss and 2 hits (single routes must share the batch cache)", out.Cache)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	resp, body := postJSON(t, ts, "/api/v1/batch", map[string]any{"items": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty items: status = %d, body %s", resp.StatusCode, body)
+	}
+
+	// Per-item failures are data, not transport errors: the batch still
+	// returns 200 with Error set at the failed index.
+	bad := batchItem(modelXML, mappingXML, "divine", "upsim")
+	broken := batchItem("<broken", mappingXML, "", "upsim")
+	good := batchItem(modelXML, mappingXML, "", "upsim")
+	resp, body = postJSON(t, ts, "/api/v1/batch", map[string]any{
+		"items": []map[string]any{bad, broken, good},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: status = %d, body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 2 {
+		t.Fatalf("errors = %d, want 2; body %s", out.Errors, body)
+	}
+	if !strings.Contains(out.Results[0].Error, `unknown op "divine"`) {
+		t.Errorf("result[0] error = %q, want unknown-op message", out.Results[0].Error)
+	}
+	if out.Results[1].Error == "" || out.Results[1].Result != nil {
+		t.Errorf("result[1] = %+v, want a decode error", out.Results[1])
+	}
+	if out.Results[2].Error != "" || out.Results[2].Result == nil {
+		t.Errorf("result[2] = %+v, want success", out.Results[2])
+	}
+}
+
+func TestRunBatchLimits(t *testing.T) {
+	c := cache.New(4)
+	if _, err := RunBatch(context.Background(), c, 0, &BatchRequest{}); err == nil {
+		t.Error("empty batch must fail")
+	}
+	over := &BatchRequest{Items: make([]BatchItem, MaxBatchItems+1)}
+	if _, err := RunBatch(context.Background(), c, 0, over); err == nil {
+		t.Errorf("%d items must exceed the limit", MaxBatchItems+1)
+	}
+}

@@ -4,7 +4,9 @@
 // can POST a model, a service and a mapping and get back the user-perceived
 // infrastructure and its availability for any (requester, provider) pair.
 //
-// Endpoints (all stateless; models travel in the request):
+// Endpoints (models travel in the request; the only server-side state is a
+// content-addressed cache of derived results, so any replica can serve any
+// request):
 //
 //	GET  /healthz                      liveness probe
 //	GET  /metrics                      Prometheus text exposition (internal/obs)
@@ -16,6 +18,16 @@
 //	POST /api/v1/availability          generate + Section VII analysis
 //	POST /api/v1/qos                   performability + responsiveness
 //	POST /api/v1/lint                  static-analysis report for model, service and mapping
+//	POST /api/v1/batch                 many generate/availability/qos items, fanned
+//	                                   out across a worker pool through the shared cache
+//
+// This table is mirrored in README.md ("HTTP API"); update both together.
+//
+// The generation-backed routes (generate, availability, qos, batch) run
+// through one shared internal/cache.Cache (capacity Config.CacheSize):
+// repeated identical requests skip Steps 6–8 entirely and concurrent
+// identical requests compute once (singleflight). Cache traffic is visible
+// on GET /metrics as upsim_cache_{hits,misses,evictions,singleflight_shared}_total.
 //
 // Every API route runs behind the observability middleware (request-ID
 // injection, request counter, per-route latency histogram, in-flight gauge,
@@ -32,6 +44,7 @@ import (
 	"strings"
 	"sync"
 
+	"upsim/internal/cache"
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
@@ -51,13 +64,35 @@ const MaxRequestBytes = 8 << 20
 // duplicate names; New may be called per test).
 var publishOnce sync.Once
 
-// New returns the HTTP handler serving the API.
-func New() http.Handler {
+// Config tunes the handler. The zero value is ready to use.
+type Config struct {
+	// CacheSize bounds the shared generation cache (entries); <= 0 selects
+	// cache.DefaultMaxEntries.
+	CacheSize int
+	// BatchWorkers bounds the per-request fan-out of POST /api/v1/batch;
+	// <= 0 selects runtime.GOMAXPROCS(0). A request's own "workers" field
+	// overrides it.
+	BatchWorkers int
+}
+
+// api is the per-handler shared state: the content-addressed result cache
+// every generation-backed route runs through, and the batch pool bound.
+type api struct {
+	cache        *cache.Cache
+	batchWorkers int
+}
+
+// New returns the HTTP handler serving the API with the default Config.
+func New() http.Handler { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns the HTTP handler serving the API.
+func NewWithConfig(cfg Config) http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("upsim", expvar.Func(func() any {
 			return obs.DefaultRegistry().Snapshot()
 		}))
 	})
+	a := &api{cache: cache.New(cfg.CacheSize), batchWorkers: cfg.BatchWorkers}
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, instrument(route, h))
@@ -66,10 +101,11 @@ func New() http.Handler {
 	handle("GET /api/v1/casestudy/model", "/api/v1/casestudy/model", handleCaseStudyModel)
 	handle("GET /api/v1/casestudy/mapping", "/api/v1/casestudy/mapping", handleCaseStudyMapping)
 	handle("POST /api/v1/paths", "/api/v1/paths", handlePaths)
-	handle("POST /api/v1/generate", "/api/v1/generate", handleGenerate)
-	handle("POST /api/v1/availability", "/api/v1/availability", handleAvailability)
-	handle("POST /api/v1/qos", "/api/v1/qos", handleQoS)
+	handle("POST /api/v1/generate", "/api/v1/generate", a.handleGenerate)
+	handle("POST /api/v1/availability", "/api/v1/availability", a.handleAvailability)
+	handle("POST /api/v1/qos", "/api/v1/qos", a.handleQoS)
 	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
+	handle("POST /api/v1/batch", "/api/v1/batch", a.handleBatch)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -221,7 +257,11 @@ type generateRequest struct {
 	AllowDisconnected bool `json:"allowDisconnected,omitempty"`
 }
 
-func (req *generateRequest) generate(ctx context.Context) (*core.Result, error) {
+// generate runs the pipeline for one request through the shared cache (nil
+// disables caching). The generator itself is per-request — the cache key is
+// derived from the request content, so identical requests hit the same entry
+// no matter which generator instance computes them.
+func (req *generateRequest) generate(ctx context.Context, c *cache.Cache) (*core.Result, error) {
 	_, gen, err := req.load(ctx)
 	if err != nil {
 		return nil, err
@@ -243,7 +283,7 @@ func (req *generateRequest) generate(ctx context.Context) (*core.Result, error) 
 	if name == "" {
 		name = "upsim"
 	}
-	return gen.GenerateContext(ctx, svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
+	return gen.WithCache(c).GenerateContext(ctx, svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
 }
 
 // linkJSON is one UPSIM link.
@@ -276,16 +316,22 @@ type generateResponse struct {
 	Services   []serviceStatsJSON  `json:"serviceStats"`
 }
 
-func handleGenerate(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req generateRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context())
+	res, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	writeJSON(w, http.StatusOK, buildGenerateResponse(res))
+}
+
+// buildGenerateResponse renders a pipeline Result; shared by the single
+// generate route and the batch fan-out.
+func buildGenerateResponse(res *core.Result) generateResponse {
 	resp := generateResponse{
 		Name:       res.Name,
 		Nodes:      res.NodeNames(),
@@ -314,7 +360,7 @@ func handleGenerate(w http.ResponseWriter, r *http.Request) {
 			Truncated:     sp.Stats.Truncated,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // availabilityRequest asks for the Section VII analysis.
@@ -357,38 +403,46 @@ type qosResponse struct {
 	PathsTotal        int     `json:"pathsTotal"`
 }
 
-func handleQoS(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 	var req qosRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context())
+	res, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	resp, err := analyzeQoS(res, req.MaxHops)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyzeQoS runs the performability + responsiveness analysis on a (possibly
+// cached) Result; shared by the single qos route and the batch fan-out.
+func analyzeQoS(res *core.Result, maxHops int) (qosResponse, error) {
 	tp, err := depend.Throughput(res)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return qosResponse{}, err
 	}
-	hops := req.MaxHops
-	if hops <= 0 {
-		hops = 8
+	if maxHops <= 0 {
+		maxHops = 8
 	}
-	rr, err := depend.Responsiveness(res, depend.ModelExact, hops)
+	rr, err := depend.Responsiveness(res, depend.ModelExact, maxHops)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return qosResponse{}, err
 	}
-	writeJSON(w, http.StatusOK, qosResponse{
+	return qosResponse{
 		ThroughputMbps:    tp.Service,
 		MaxHops:           rr.MaxHops,
 		Responsiveness:    rr.Responsiveness,
 		Availability:      rr.Availability,
 		PathsWithinBudget: rr.PathsWithinBudget,
 		PathsTotal:        rr.PathsTotal,
-	})
+	}, nil
 }
 
 // lintRequest asks for a static-analysis report. Unlike the pipeline routes
@@ -464,34 +518,42 @@ func handleLint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func handleAvailability(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	var req availabilityRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context())
+	res, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	model := depend.ModelExact
-	if req.Formula1 {
-		model = depend.ModelFormula1
-	}
-	samples := req.MCSamples
-	if samples <= 0 {
-		samples = 100000
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rep, err := depend.AnalyzeContext(r.Context(), res, model, samples, seed)
+	resp, err := analyzeAvailability(r.Context(), res, req.Formula1, req.MCSamples, req.Seed)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, availabilityResponse{
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyzeAvailability runs the Section VII analysis on a (possibly cached)
+// Result; shared by the single availability route and the batch fan-out.
+func analyzeAvailability(ctx context.Context, res *core.Result, formula1 bool, samples int, seed int64) (availabilityResponse, error) {
+	model := depend.ModelExact
+	if formula1 {
+		model = depend.ModelFormula1
+	}
+	if samples <= 0 {
+		samples = 100000
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rep, err := depend.AnalyzeContext(ctx, res, model, samples, seed)
+	if err != nil {
+		return availabilityResponse{}, err
+	}
+	return availabilityResponse{
 		Exact:                rep.Exact,
 		RBDApprox:            rep.RBDApprox,
 		FTApprox:             rep.FTApprox,
@@ -499,5 +561,5 @@ func handleAvailability(w http.ResponseWriter, r *http.Request) {
 		MCStdErr:             rep.MCStdErr,
 		DowntimePerYearHours: rep.DowntimePerYearHours,
 		Components:           rep.Components,
-	})
+	}, nil
 }

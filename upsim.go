@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"net/http"
 
+	"upsim/internal/cache"
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
@@ -106,6 +107,27 @@ type (
 	// Graph is the topology view used by path discovery.
 	Graph = topology.Graph
 )
+
+// Caching types (see internal/cache).
+type (
+	// Cache is the content-addressed, LRU-bounded generation-result cache
+	// with singleflight deduplication. Attach one to a Generator with
+	// Generator.WithCache; all methods are safe for concurrent use.
+	Cache = cache.Cache
+	// CacheStats is a point-in-time snapshot of one cache's counters.
+	CacheStats = cache.Stats
+	// CacheOutcome classifies how Cache.Do obtained a value (miss, hit or
+	// singleflight-shared).
+	CacheOutcome = cache.Outcome
+)
+
+// DefaultCacheSize is the capacity selected by NewCache(0).
+const DefaultCacheSize = cache.DefaultMaxEntries
+
+// NewCache returns an empty generation cache bounded to maxEntries results;
+// maxEntries <= 0 selects DefaultCacheSize. A cache can back any number of
+// Generators: results are addressed by request content, not by instance.
+func NewCache(maxEntries int) *Cache { return cache.New(maxEntries) }
 
 // AllPaths enumerates all simple paths between two components of a topology
 // graph using the paper's DFS with path tracking.
