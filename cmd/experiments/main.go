@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache]
-//	            [-bench-out BENCH_cache.json]
+//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc]
+//	            [-bench-out BENCH_cache.json] [-pathdisc-out BENCH_pathdisc.json]
 package main
 
 import (
@@ -32,8 +32,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache)")
+	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc)")
 	flag.StringVar(&benchOut, "bench-out", "BENCH_cache.json", "file for the cache experiment's JSON record (empty disables)")
+	flag.StringVar(&pathdiscOut, "pathdisc-out", "BENCH_pathdisc.json", "file for the pathdisc experiment's JSON record (empty disables)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -69,6 +70,7 @@ func experimentsList() []experiment {
 		{"scaling", "Section V-D — path discovery scalability", expScaling},
 		{"dynamicity", "Section V-A3 — dynamicity scenarios", expDynamicity},
 		{"cache", "Extension — content-addressed cache & concurrent discovery", expCache},
+		{"pathdisc", "Extension — compiled CSR kernel vs map-based discovery", expPathdisc},
 	}
 }
 

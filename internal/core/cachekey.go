@@ -83,10 +83,13 @@ func (g *Generator) CacheKey(svc *service.Composite, mp *mapping.Mapping, name s
 	// Workers and DiscoveryWorkers are deliberately excluded: they tune
 	// parallelism only, never the produced Result (the DFS variants are
 	// output-identical and the discovery loop preserves execution order),
-	// so requests differing only in pool sizes share one entry.
-	fmt.Fprintf(h, "\nopts=%s/%s paths={d=%d p=%d c=%t} disc=%t lint=%s\n",
+	// so requests differing only in pool sizes share one entry. LegacyKernel
+	// IS included: both kernels return the same path sets, but the compiled
+	// kernel prunes unreachable expansions, so the search-effort Stats (and
+	// therefore the Result) differ between them.
+	fmt.Fprintf(h, "\nopts=%s/%s paths={d=%d p=%d c=%t} disc=%t lint=%s legacy=%t\n",
 		opts.Algorithm, opts.Merge,
 		opts.Paths.MaxDepth, opts.Paths.MaxPaths, opts.Paths.CollapseParallel,
-		opts.AllowDisconnected, opts.Lint)
+		opts.AllowDisconnected, opts.Lint, opts.LegacyKernel)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -153,6 +153,12 @@ type Options struct {
 	// linting entirely, matching the paper's pipeline; LintWarn logs
 	// findings, LintFail aborts on error-severity findings.
 	Lint LintMode
+	// LegacyKernel routes Step 7 through the original map-based discovery
+	// functions instead of the compiled CSR kernel (pathdisc.Compile). The
+	// zero value (false) uses the compiled kernel, which returns the exact
+	// same path sets but prunes unreachable expansions, so its search-effort
+	// Stats are lower. AlgoShortest always uses the legacy implementation.
+	LegacyKernel bool
 }
 
 // discoveryWorkers resolves the effective Step 7 pool size for n atomic
@@ -200,6 +206,9 @@ type Result struct {
 	TotalPaths int
 	// EdgeVisits aggregates the search effort of Step 7.
 	EdgeVisits int
+	// Pruned aggregates the expansions the compiled kernel's reachability
+	// pass skipped in Step 7 (always 0 with Options.LegacyKernel).
+	Pruned int
 }
 
 // PathsFor returns the discovered paths of one atomic service.
@@ -231,6 +240,7 @@ type Generator struct {
 	diagramName string
 	space       *vpm.ModelSpace
 	graph       *topology.Graph
+	compiled    *pathdisc.Compiled // CSR kernel, built once per model, immutable
 
 	mu          sync.Mutex // guards the fields below and the pipeline's mutations
 	mappingSeq  int
@@ -272,11 +282,15 @@ func NewGeneratorContext(ctx context.Context, m *uml.Model, diagramName string) 
 	g := topology.FromObjectDiagram(d)
 	sp.SetAttr("nodes", g.NumNodes())
 	sp.SetAttr("edges", g.NumEdges())
+	// Compile the CSR kernel once per model: every Generate call — across
+	// mapping pairs, user perspectives and batch items — reuses it, so the
+	// string-to-index lowering and the adjacency layout are paid exactly once.
 	return &Generator{
 		model:       m,
 		diagramName: diagramName,
 		space:       space,
 		graph:       g,
+		compiled:    pathdisc.Compile(g),
 	}, nil
 }
 
@@ -286,6 +300,13 @@ func (g *Generator) Space() *vpm.ModelSpace { return g.space }
 
 // Graph returns the graph view of the infrastructure diagram.
 func (g *Generator) Graph() *topology.Graph { return g.graph }
+
+// Compiled returns the CSR path-discovery kernel compiled from the
+// infrastructure graph at construction time. It is immutable and safe for
+// concurrent use; callers that enumerate paths outside the pipeline (the
+// HTTP /paths endpoint, tooling) should prefer it over the map-based
+// pathdisc functions to amortise compilation.
+func (g *Generator) Compiled() *pathdisc.Compiled { return g.compiled }
 
 // Model returns the source UML model.
 func (g *Generator) Model() *uml.Model { return g.model }
@@ -406,43 +427,55 @@ func (g *Generator) generate(ctx context.Context, svc *service.Composite, mp *ma
 	span7.SetAttr("workers", workers)
 	wctx, cancelDiscovery := context.WithCancel(ctx7)
 	defer cancelDiscovery()
-	var (
-		wg    sync.WaitGroup
-		tasks = make(chan int)
-		errs  = make([]error, len(pairs))
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range tasks {
-				// A cancelled context (caller gave up, or an earlier pair
-				// failed) skips the remaining discoveries.
-				if err := wctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				sp := &sps[i]
-				_, svcSpan := obs.StartSpan(wctx, sp.AtomicService)
-				var derr error
-				sp.Paths, sp.Stats, derr = g.discover(sp.Requester, sp.Provider, opts)
-				svcSpan.SetAttr("paths", sp.Stats.Paths)
-				svcSpan.SetAttr("edge_visits", sp.Stats.EdgeVisits)
-				svcSpan.SetAttr("nodes_visited", sp.Stats.NodeVisits)
-				svcSpan.SetAttr("max_stack", sp.Stats.MaxStack)
-				svcSpan.End()
-				if derr != nil {
-					errs[i] = fmt.Errorf("core: %s: atomic service %q: %w", name, sp.AtomicService, derr)
-					cancelDiscovery()
-				}
-			}
-		}()
+	errs := make([]error, len(pairs))
+	discoverOne := func(i int) {
+		// A cancelled context (caller gave up, or an earlier pair failed)
+		// skips the remaining discoveries.
+		if err := wctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		sp := &sps[i]
+		_, svcSpan := obs.StartSpan(wctx, sp.AtomicService)
+		var derr error
+		sp.Paths, sp.Stats, derr = g.discover(sp.Requester, sp.Provider, opts)
+		svcSpan.SetAttr("paths", sp.Stats.Paths)
+		svcSpan.SetAttr("edge_visits", sp.Stats.EdgeVisits)
+		svcSpan.SetAttr("nodes_visited", sp.Stats.NodeVisits)
+		svcSpan.SetAttr("max_stack", sp.Stats.MaxStack)
+		svcSpan.End()
+		if derr != nil {
+			errs[i] = fmt.Errorf("core: %s: atomic service %q: %w", name, sp.AtomicService, derr)
+			cancelDiscovery()
+		}
 	}
-	for i := range pairs {
-		tasks <- i
+	if workers == 1 {
+		// A single-worker pool is just the sequential loop: skip the
+		// goroutine/channel machinery whose scheduling overhead is what made
+		// single-core "concurrent" discovery measure below 1× in PR 3.
+		for i := range pairs {
+			discoverOne(i)
+		}
+	} else {
+		var (
+			wg    sync.WaitGroup
+			tasks = make(chan int)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range tasks {
+					discoverOne(i)
+				}
+			}()
+		}
+		for i := range pairs {
+			tasks <- i
+		}
+		close(tasks)
+		wg.Wait()
 	}
-	close(tasks)
-	wg.Wait()
 	for i := range sps {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -454,6 +487,7 @@ func (g *Generator) generate(ctx context.Context, svc *service.Composite, mp *ma
 		res.Services = append(res.Services, sps[i])
 		res.TotalPaths += len(sps[i].Paths)
 		res.EdgeVisits += sps[i].Stats.EdgeVisits
+		res.Pruned += sps[i].Stats.Pruned
 	}
 	span7.SetAttr("paths", res.TotalPaths)
 	span7.SetAttr("edge_visits", res.EdgeVisits)
@@ -517,6 +551,17 @@ func (g *Generator) lintGate(ctx context.Context, svc *service.Composite, mp *ma
 }
 
 func (g *Generator) discover(req, prov string, opts Options) ([]pathdisc.Path, pathdisc.Stats, error) {
+	if !opts.LegacyKernel {
+		switch opts.Algorithm {
+		case AlgoRecursive:
+			return g.compiled.AllPaths(req, prov, opts.Paths)
+		case AlgoIterative:
+			return g.compiled.AllPathsIterative(req, prov, opts.Paths)
+		case AlgoParallel:
+			return g.compiled.AllPathsParallel(req, prov, opts.Paths, opts.Workers)
+		}
+		// AlgoShortest (and unknown values) fall through to the legacy switch.
+	}
 	switch opts.Algorithm {
 	case AlgoRecursive:
 		return pathdisc.AllPaths(g.graph, req, prov, opts.Paths)

@@ -1,0 +1,641 @@
+package pathdisc
+
+// This file implements the compiled path-discovery kernel: a one-time
+// lowering of the string-keyed topology.Graph into an integer-indexed CSR
+// (compressed sparse row) form over which the exponential all-simple-paths
+// search runs allocation-free per expansion. The map-based variants in
+// pathdisc.go pay a string hash, an Edge struct copy and a string compare
+// per expansion, plus one map allocation per expanded node; the compiled
+// kernel replaces all of that with array indexing and a []uint64 visited
+// bitset, and additionally prunes dead-end subtrees with a reverse BFS from
+// the provider before the exponential search enters them. See DESIGN.md §9.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"upsim/internal/obs"
+	"upsim/internal/topology"
+)
+
+// Compiled-kernel metrics: compilation events and sizes, pruning effect and
+// parallel-gate decisions, exposed on /metrics next to the per-algorithm
+// search histograms.
+var (
+	mCompile = obs.NewCounter("upsim_pathdisc_compile_total",
+		"Topology graphs lowered to CSR form.")
+	mCompiledNodes = obs.NewGauge("upsim_pathdisc_compiled_nodes",
+		"Node count of the most recently compiled graph.")
+	mCompiledEdges = obs.NewGauge("upsim_pathdisc_compiled_edges",
+		"Edge count of the most recently compiled graph.")
+	mParallelFanout = obs.NewCounter("upsim_pathdisc_parallel_decisions_total",
+		"AllPathsParallelCSR gate decisions.", "decision")
+)
+
+// ParallelBranchingThreshold is the mean-degree floor above which
+// AllPathsParallelCSR fans out over goroutines. Below it the search space is
+// tree-like and shallow, goroutine scheduling dominates the branch cost, and
+// the kernel runs the sequential CSR search instead (the measured fix for
+// the 0.96x "parallel" regression recorded by the cache experiment: fanning
+// out a map-bound kernel over a near-linear search space only added
+// overhead). The value is calibrated by the cmd/experiments pathdisc
+// benchmark: campus/ladder shapes (mean degree ~2) never win from fan-out,
+// meshes (mean degree >= 3) do once real cores are available.
+const ParallelBranchingThreshold = 2.5
+
+// Compiled is the integer-indexed CSR form of a topology.Graph, built once
+// by Compile and reusable across any number of enumerations (it is
+// immutable after construction and safe for concurrent use; per-search
+// scratch comes from an internal sync.Pool). Node IDs are dense ints in
+// graph insertion order; adjacency entries keep the graph's edge insertion
+// order, so every CSR variant reproduces the map-based variants' output
+// order exactly.
+type Compiled struct {
+	names []string         // dense node ID -> node name
+	index map[string]int32 // node name -> dense node ID
+
+	// Full CSR adjacency: entries [adjStart[v], adjStart[v+1]) are node v's
+	// incident edges, as (opposite endpoint, topology edge ID) pairs.
+	adjStart []int32
+	adjNode  []int32
+	adjEdge  []int32
+
+	// Collapsed CSR adjacency: as above, but keeping only the first edge per
+	// (node, neighbour) pair — the static equivalent of the per-frame
+	// seenPair map of Options.CollapseParallel. Shares the full arrays when
+	// the graph has no parallel edges.
+	colStart []int32
+	colNode  []int32
+	colEdge  []int32
+
+	numEdges  int
+	maxDegree int
+	branching float64 // mean adjacency entries per node (2E/N)
+
+	pool sync.Pool // *scratch
+}
+
+// scratch is the reusable per-enumeration state: the visited bitset, the
+// reverse-BFS distance table with its queue, and the path buffers. One
+// scratch serves one enumeration (or one branch of the parallel variant) at
+// a time; the pool amortises them across enumerations.
+type scratch struct {
+	visited []uint64 // bitset, one bit per node, all zero between uses
+	dist    []int32  // hop distance to the provider, -1 when unreachable
+	queue   []int32
+	nodes   []int32
+	edges   []int32
+	frames  []csrFrame
+}
+
+type csrFrame struct {
+	node int32
+	next int32 // index into the adjacency entry range of node
+}
+
+// Compile lowers a topology graph into its CSR form. The cost is one pass
+// over nodes and edges — O(V+E) — amortised across every subsequent
+// enumeration: the Generator compiles once per model and reuses the kernel
+// for all mapping pairs, batch items and perspectives.
+func Compile(g *topology.Graph) *Compiled {
+	nodes := g.Nodes()
+	c := &Compiled{
+		names:    make([]string, len(nodes)),
+		index:    make(map[string]int32, len(nodes)),
+		numEdges: g.NumEdges(),
+	}
+	for i, n := range nodes {
+		c.names[i] = n.Name
+		c.index[n.Name] = int32(i)
+	}
+	n := len(nodes)
+	c.adjStart = make([]int32, n+1)
+	total := 0
+	for i := 0; i < n; i++ {
+		d := g.Degree(c.names[i])
+		total += d
+		if d > c.maxDegree {
+			c.maxDegree = d
+		}
+		c.adjStart[i+1] = int32(total)
+	}
+	c.adjNode = make([]int32, total)
+	c.adjEdge = make([]int32, total)
+	pos := 0
+	parallel := false
+	for i := 0; i < n; i++ {
+		name := c.names[i]
+		seen := make(map[int32]bool, 4)
+		for _, id := range g.IncidentEdges(name) {
+			e, _ := g.Edge(id)
+			o := c.index[e.Other(name)]
+			c.adjNode[pos] = o
+			c.adjEdge[pos] = int32(id)
+			pos++
+			if seen[o] {
+				parallel = true
+			}
+			seen[o] = true
+		}
+	}
+	if !parallel {
+		// No parallel edges: the collapsed view is the full view.
+		c.colStart, c.colNode, c.colEdge = c.adjStart, c.adjNode, c.adjEdge
+	} else {
+		c.colStart = make([]int32, n+1)
+		c.colNode = make([]int32, 0, total)
+		c.colEdge = make([]int32, 0, total)
+		for i := 0; i < n; i++ {
+			seen := make(map[int32]bool, 4)
+			for j := c.adjStart[i]; j < c.adjStart[i+1]; j++ {
+				o := c.adjNode[j]
+				if seen[o] {
+					continue
+				}
+				seen[o] = true
+				c.colNode = append(c.colNode, o)
+				c.colEdge = append(c.colEdge, c.adjEdge[j])
+			}
+			c.colStart[i+1] = int32(len(c.colNode))
+		}
+	}
+	if n > 0 {
+		c.branching = float64(total) / float64(n)
+	}
+	words := (n + 63) / 64
+	c.pool.New = func() any {
+		return &scratch{
+			visited: make([]uint64, words),
+			dist:    make([]int32, n),
+			queue:   make([]int32, 0, n),
+			nodes:   make([]int32, 0, 16),
+			edges:   make([]int32, 0, 16),
+		}
+	}
+	mCompile.With().Inc()
+	mCompiledNodes.With().Set(int64(n))
+	mCompiledEdges.With().Set(int64(c.numEdges))
+	return c
+}
+
+// NumNodes returns the compiled node count.
+func (c *Compiled) NumNodes() int { return len(c.names) }
+
+// NumEdges returns the compiled edge count (parallel edges counted).
+func (c *Compiled) NumEdges() int { return c.numEdges }
+
+// Branching returns the mean adjacency entries per node (2E/N), the
+// branching-factor estimate the parallel gate compares against
+// ParallelBranchingThreshold.
+func (c *Compiled) Branching() float64 { return c.branching }
+
+// MaxDegree returns the largest node degree.
+func (c *Compiled) MaxDegree() int { return c.maxDegree }
+
+// getScratch takes a clean scratch from the pool.
+func (c *Compiled) getScratch() *scratch { return c.pool.Get().(*scratch) }
+
+// putScratch clears the visited bitset (the only state that must be clean on
+// reuse; dist is refilled per enumeration) and returns s to the pool.
+func (c *Compiled) putScratch(s *scratch) {
+	clear(s.visited)
+	s.nodes = s.nodes[:0]
+	s.edges = s.edges[:0]
+	s.frames = s.frames[:0]
+	c.pool.Put(s)
+}
+
+func (c *Compiled) validate(src, dst string) (int32, int32, error) {
+	s, ok := c.index[src]
+	if !ok {
+		return 0, 0, fmt.Errorf("pathdisc: requester %q not in infrastructure", src)
+	}
+	d, ok := c.index[dst]
+	if !ok {
+		return 0, 0, fmt.Errorf("pathdisc: provider %q not in infrastructure", dst)
+	}
+	if s == d {
+		return 0, 0, fmt.Errorf("pathdisc: requester and provider are the same component %q", src)
+	}
+	return s, d, nil
+}
+
+// adjacency selects the full or collapsed CSR view per the options.
+func (c *Compiled) adjacency(opts Options) (start, node, edge []int32) {
+	if opts.CollapseParallel {
+		return c.colStart, c.colNode, c.colEdge
+	}
+	return c.adjStart, c.adjNode, c.adjEdge
+}
+
+// reverseBFS fills s.dist with the hop distance from every node to dst
+// (-1 when dst is unreachable) — the destination-reachability pruning pass.
+// Soundness: any simple path suffix from a node v to dst is a walk proving
+// dist[v] >= 0 and dist[v] <= remaining hops, so skipping nodes that fail
+// either test can never remove a reportable path; it only skips subtrees in
+// which every continuation dead-ends (see DESIGN.md §9 for the sketch).
+func (c *Compiled) reverseBFS(s *scratch, dst int32) {
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	s.dist[dst] = 0
+	s.queue = append(s.queue[:0], dst)
+	for len(s.queue) > 0 {
+		cur := s.queue[0]
+		s.queue = s.queue[1:]
+		for j := c.adjStart[cur]; j < c.adjStart[cur+1]; j++ {
+			o := c.adjNode[j]
+			if s.dist[o] < 0 {
+				s.dist[o] = s.dist[cur] + 1
+				s.queue = append(s.queue, o)
+			}
+		}
+	}
+}
+
+// depthBudget converts Options.MaxDepth into the pruning budget.
+func depthBudget(opts Options) int {
+	if opts.MaxDepth > 0 {
+		return opts.MaxDepth
+	}
+	return math.MaxInt32
+}
+
+// csrSearch is one sequential CSR enumeration (or one branch of the
+// parallel variant): the DFS state plus the accumulated result.
+type csrSearch struct {
+	c        *Compiled
+	s        *scratch
+	start    []int32
+	adjNode  []int32
+	adjEdge  []int32
+	dst      int32
+	budget   int
+	maxPaths int
+	out      []Path
+	stats    Stats
+
+	// Path arenas: emitted Nodes/Edges slices are carved out of chunked
+	// backing arrays, two allocations per chunk instead of two per path.
+	// The chunks escape into the returned Paths, so they are per-search
+	// state, never pooled.
+	nameArena []string
+	edgeArena []int
+}
+
+func (q *csrSearch) visit(v int32)          { q.s.visited[v>>6] |= 1 << (uint(v) & 63) }
+func (q *csrSearch) unvisit(v int32)        { q.s.visited[v>>6] &^= 1 << (uint(v) & 63) }
+func (q *csrSearch) isVisited(v int32) bool { return q.s.visited[v>>6]&(1<<(uint(v)&63)) != 0 }
+
+// arenaChunk sizes a fresh arena chunk: big enough for the requested path
+// and for a few hundred more like it.
+func arenaChunk(need int) int {
+	const chunk = 2048
+	if need > chunk {
+		return need
+	}
+	return chunk
+}
+
+// emit materialises the current path buffer as a Path. Backing storage comes
+// from the search's arenas; full slice expressions cap every path at its own
+// region, so a caller appending to a returned Path reallocates instead of
+// clobbering the next path.
+func (q *csrSearch) emit() {
+	nl := len(q.s.nodes)
+	if cap(q.nameArena)-len(q.nameArena) < nl {
+		q.nameArena = make([]string, 0, arenaChunk(nl))
+	}
+	nb := len(q.nameArena)
+	for _, v := range q.s.nodes {
+		q.nameArena = append(q.nameArena, q.c.names[v])
+	}
+	names := q.nameArena[nb : nb+nl : nb+nl]
+
+	el := len(q.s.edges)
+	if cap(q.edgeArena)-len(q.edgeArena) < el {
+		q.edgeArena = make([]int, 0, arenaChunk(el))
+	}
+	eb := len(q.edgeArena)
+	for _, e := range q.s.edges {
+		q.edgeArena = append(q.edgeArena, int(e))
+	}
+	edges := q.edgeArena[eb : eb+el : eb+el]
+
+	q.out = append(q.out, Path{Nodes: names, Edges: edges})
+	q.stats.Paths++
+}
+
+// rec is the recursive CSR DFS. It mirrors the map-based AllPaths loop
+// expansion for expansion — same adjacency order, same bound checks — so the
+// output sequence is identical; the only behavioural difference is that
+// pruned expansions (dead ends, or detours provably longer than the depth
+// budget) are skipped before being traversed, which lowers EdgeVisits and is
+// counted in Stats.Pruned. Returns false to abort on MaxPaths.
+func (q *csrSearch) rec(cur int32) bool {
+	if len(q.s.nodes) > q.stats.MaxStack {
+		q.stats.MaxStack = len(q.s.nodes)
+	}
+	for j := q.start[cur]; j < q.start[cur+1]; j++ {
+		next := q.adjNode[j]
+		if q.isVisited(next) {
+			continue
+		}
+		if d := q.s.dist[next]; d < 0 || len(q.s.edges)+1+int(d) > q.budget {
+			q.stats.Pruned++
+			continue
+		}
+		q.stats.EdgeVisits++
+		q.s.nodes = append(q.s.nodes, next)
+		q.s.edges = append(q.s.edges, q.adjEdge[j])
+		if next == q.dst {
+			q.emit()
+			if q.maxPaths > 0 && q.stats.Paths >= q.maxPaths {
+				q.stats.Truncated = true
+				q.pop()
+				return false
+			}
+		} else {
+			q.visit(next)
+			ok := q.rec(next)
+			q.unvisit(next)
+			if !ok {
+				q.pop()
+				return false
+			}
+		}
+		q.pop()
+	}
+	return true
+}
+
+func (q *csrSearch) pop() {
+	q.s.nodes = q.s.nodes[:len(q.s.nodes)-1]
+	q.s.edges = q.s.edges[:len(q.s.edges)-1]
+}
+
+// AllPaths enumerates all simple paths from src to dst over the compiled
+// graph: the CSR counterpart of the package-level AllPaths, with identical
+// output (same paths, same order) and strictly less search effort thanks to
+// the reachability pruning. The compiled kernel's package-level alias is
+// AllPathsCSR.
+func (c *Compiled) AllPaths(src, dst string, opts Options) ([]Path, Stats, error) {
+	return c.allPathsSequential(src, dst, opts, "csr-dfs")
+}
+
+func (c *Compiled) allPathsSequential(src, dst string, opts Options, algorithm string) ([]Path, Stats, error) {
+	s0, d0, err := c.validate(src, dst)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	c.reverseBFS(s, d0)
+	start, adjNode, adjEdge := c.adjacency(opts)
+	q := &csrSearch{
+		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
+		dst: d0, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+	}
+	if s.dist[s0] >= 0 { // disconnected pairs skip the search entirely
+		q.visit(s0)
+		s.nodes = append(s.nodes, s0)
+		q.rec(s0)
+	}
+	q.stats.NodeVisits = q.stats.EdgeVisits + 1
+	observe(algorithm, q.stats)
+	return q.out, q.stats, nil
+}
+
+// AllPathsIterative is the explicit-stack CSR variant: same output sequence
+// as AllPaths, recursion depth independent of path length — the safe choice
+// for very deep compiled graphs. Package-level alias: AllPathsIterativeCSR.
+func (c *Compiled) AllPathsIterative(src, dst string, opts Options) ([]Path, Stats, error) {
+	s0, d0, err := c.validate(src, dst)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	c.reverseBFS(s, d0)
+	start, adjNode, adjEdge := c.adjacency(opts)
+	q := &csrSearch{
+		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
+		dst: d0, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+	}
+	if s.dist[s0] >= 0 {
+		q.visit(s0)
+		s.nodes = append(s.nodes, s0)
+		s.frames = append(s.frames, csrFrame{node: s0, next: start[s0]})
+		q.iterate()
+	}
+	q.stats.NodeVisits = q.stats.EdgeVisits + 1
+	observe("csr-iterative", q.stats)
+	return q.out, q.stats, nil
+}
+
+// iterate drives the explicit-stack DFS over the frames in q.s.frames.
+func (q *csrSearch) iterate() {
+	s := q.s
+	for len(s.frames) > 0 {
+		if len(s.nodes) > q.stats.MaxStack {
+			q.stats.MaxStack = len(s.nodes)
+		}
+		f := &s.frames[len(s.frames)-1]
+		advanced := false
+		for f.next < q.start[f.node+1] {
+			j := f.next
+			f.next++
+			next := q.adjNode[j]
+			if q.isVisited(next) {
+				continue
+			}
+			if d := s.dist[next]; d < 0 || len(s.edges)+1+int(d) > q.budget {
+				q.stats.Pruned++
+				continue
+			}
+			q.stats.EdgeVisits++
+			s.nodes = append(s.nodes, next)
+			s.edges = append(s.edges, q.adjEdge[j])
+			if next == q.dst {
+				q.emit()
+				if q.maxPaths > 0 && q.stats.Paths >= q.maxPaths {
+					q.stats.Truncated = true
+					return
+				}
+				q.pop()
+				continue
+			}
+			q.visit(next)
+			s.frames = append(s.frames, csrFrame{node: next, next: q.start[next]})
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		s.frames = s.frames[:len(s.frames)-1]
+		if len(s.frames) > 0 {
+			q.unvisit(f.node)
+			q.pop()
+		}
+	}
+}
+
+// parallelEligible is the measured fan-out gate of AllPathsParallel: spawn
+// goroutines only when there are real cores to run them, the requester
+// actually branches, and the compiled graph's branching factor says the
+// per-branch search is deep enough to amortise scheduling. Everything else
+// falls back to the sequential kernel — which is what turns the historic
+// 0.96x parallel regression into a >= 1.0x floor: the fallback *is* the
+// sequential code path, plus one comparison.
+func (c *Compiled) parallelEligible(src int32, opts Options) bool {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return false
+	}
+	start, _, _ := c.adjacency(opts)
+	if start[src+1]-start[src] < 2 {
+		return false
+	}
+	return c.branching >= ParallelBranchingThreshold
+}
+
+// ParallelEligible reports whether AllPathsParallel would fan out for this
+// requester under the given options, or run the sequential fallback. The
+// scalability experiment uses it to label which mode a measurement exercised.
+func (c *Compiled) ParallelEligible(src string, opts Options) bool {
+	s, ok := c.index[src]
+	if !ok {
+		return false
+	}
+	return c.parallelEligible(s, opts)
+}
+
+// AllPathsParallel enumerates the same path set as AllPaths by partitioning
+// the search over the requester's first-hop branches across a worker pool,
+// falling back to the sequential kernel when parallelEligible says fan-out
+// cannot win. Results keep the sequential order (branches are merged in
+// adjacency order). workers < 1 selects one worker per branch. Package-level
+// alias: AllPathsParallelCSR.
+func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) ([]Path, Stats, error) {
+	s0, d0, err := c.validate(src, dst)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !c.parallelEligible(s0, opts) || workers == 1 {
+		mParallelFanout.With("fallback-sequential").Inc()
+		return c.allPathsSequential(src, dst, opts, "csr-parallel")
+	}
+	mParallelFanout.With("fan-out").Inc()
+	start, adjNode, adjEdge := c.adjacency(opts)
+	first, last := start[s0], start[s0+1]
+	branches := int(last - first)
+	if workers < 1 || workers > branches {
+		workers = branches
+	}
+	// The reverse BFS is shared read-only by every branch; compute it once.
+	shared := c.getScratch()
+	defer c.putScratch(shared)
+	c.reverseBFS(shared, d0)
+
+	type result struct {
+		paths []Path
+		stats Stats
+	}
+	results := make([]result, branches)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range work {
+				results[bi].paths, results[bi].stats = c.branch(
+					s0, d0, adjNode[first+int32(bi)], adjEdge[first+int32(bi)],
+					shared.dist, start, adjNode, adjEdge, opts)
+			}
+		}()
+	}
+	for bi := 0; bi < branches; bi++ {
+		work <- bi
+	}
+	close(work)
+	wg.Wait()
+
+	var out []Path
+	var stats Stats
+	for bi := 0; bi < branches; bi++ {
+		r := results[bi]
+		stats.EdgeVisits += r.stats.EdgeVisits
+		stats.Pruned += r.stats.Pruned
+		if r.stats.MaxStack > stats.MaxStack {
+			stats.MaxStack = r.stats.MaxStack
+		}
+		for _, p := range r.paths {
+			// MaxPaths is enforced branch-locally and on the merged, ordered
+			// result, so the truncated set is the sequential prefix.
+			out = append(out, p)
+			if opts.MaxPaths > 0 && len(out) >= opts.MaxPaths {
+				stats.Truncated = true
+				stats.Paths = len(out)
+				stats.NodeVisits = stats.EdgeVisits + 1
+				observe("csr-parallel", stats)
+				return out, stats, nil
+			}
+		}
+	}
+	stats.Paths = len(out)
+	stats.NodeVisits = stats.EdgeVisits + 1
+	observe("csr-parallel", stats)
+	return out, stats, nil
+}
+
+// branch enumerates the paths whose first hop is the (branchNode, branchEdge)
+// adjacency entry of src. dist is the shared read-only reachability table.
+func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, start, adjNode, adjEdge []int32, opts Options) ([]Path, Stats) {
+	var stats Stats
+	if branchNode == src { // self-loop: simple paths never traverse it
+		return nil, stats
+	}
+	if d := dist[branchNode]; d < 0 || 1+int(d) > depthBudget(opts) {
+		stats.Pruned++
+		return nil, stats
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	copy(s.dist, dist)
+	q := &csrSearch{
+		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
+		dst: dst, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+	}
+	q.visit(src)
+	q.visit(branchNode)
+	s.nodes = append(s.nodes, src, branchNode)
+	s.edges = append(s.edges, branchEdge)
+	q.stats.EdgeVisits = 1
+	q.stats.MaxStack = 2
+	if branchNode == dst {
+		q.emit()
+	} else {
+		q.rec(branchNode)
+	}
+	return q.out, q.stats
+}
+
+// AllPathsCSR runs the compiled recursive DFS — the drop-in counterpart of
+// AllPaths for callers that amortise Compile across enumerations.
+func AllPathsCSR(c *Compiled, src, dst string, opts Options) ([]Path, Stats, error) {
+	return c.AllPaths(src, dst, opts)
+}
+
+// AllPathsIterativeCSR runs the compiled explicit-stack DFS.
+func AllPathsIterativeCSR(c *Compiled, src, dst string, opts Options) ([]Path, Stats, error) {
+	return c.AllPathsIterative(src, dst, opts)
+}
+
+// AllPathsParallelCSR runs the compiled branch-parallel DFS with the
+// threshold-gated sequential fallback.
+func AllPathsParallelCSR(c *Compiled, src, dst string, opts Options, workers int) ([]Path, Stats, error) {
+	return c.AllPathsParallel(src, dst, opts, workers)
+}

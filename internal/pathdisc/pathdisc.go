@@ -12,6 +12,7 @@ package pathdisc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -36,6 +37,9 @@ var (
 		"Deepest DFS stack per enumeration, in nodes.", searchBuckets, "algorithm")
 	mTruncated = obs.NewCounter("upsim_pathdisc_truncated_total",
 		"Enumerations stopped early by MaxPaths.", "algorithm")
+	mPruned = obs.NewHistogram("upsim_pathdisc_pruned_expansions",
+		"Expansions skipped by reachability pruning per enumeration (compiled kernel only).",
+		searchBuckets, "algorithm")
 )
 
 // observe feeds one enumeration's Stats into the per-algorithm histograms.
@@ -44,6 +48,9 @@ func observe(algorithm string, s Stats) {
 	mEdgeVisits.With(algorithm).Observe(float64(s.EdgeVisits))
 	mPathsFound.With(algorithm).Observe(float64(s.Paths))
 	mMaxStack.With(algorithm).Observe(float64(s.MaxStack))
+	if s.Pruned > 0 {
+		mPruned.With(algorithm).Observe(float64(s.Pruned))
+	}
 	if s.Truncated {
 		mTruncated.With(algorithm).Inc()
 	}
@@ -65,15 +72,24 @@ func (p Path) String() string { return strings.Join(p.Nodes, "—") }
 func (p Path) Len() int { return len(p.Edges) }
 
 // equalKey returns a canonical comparison key including edge identities.
+// It is called O(n log n) times by Sort, so it stays allocation-lean: one
+// sized byte buffer, edge IDs appended with strconv (no fmt interface
+// boxing). TestEqualKeyAllocs guards the allocation budget.
 func (p Path) equalKey() string {
-	var b strings.Builder
+	size := 0
+	for _, n := range p.Nodes {
+		size += len(n) + 14 // "|<edge id>|" separator upper bound
+	}
+	buf := make([]byte, 0, size)
 	for i, n := range p.Nodes {
 		if i > 0 {
-			fmt.Fprintf(&b, "|%d|", p.Edges[i-1])
+			buf = append(buf, '|')
+			buf = strconv.AppendInt(buf, int64(p.Edges[i-1]), 10)
+			buf = append(buf, '|')
 		}
-		b.WriteString(n)
+		buf = append(buf, n...)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // Options controls path enumeration.
@@ -106,6 +122,10 @@ type Stats struct {
 	MaxStack int
 	// Paths is the number of reported paths.
 	Paths int
+	// Pruned counts expansions skipped by the compiled kernel's
+	// destination-reachability pruning (see Compile); always zero for the
+	// map-based variants, which explore dead-end subtrees in full.
+	Pruned int
 	// Truncated reports whether MaxPaths stopped the enumeration early.
 	Truncated bool
 }

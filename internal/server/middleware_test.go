@@ -67,8 +67,9 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("latency histogram missing %q", want)
 		}
 	}
-	// Path-discovery instrumentation flowed into the histograms.
-	obsCount := regexp.MustCompile(`upsim_pathdisc_nodes_visited_count\{algorithm="recursive-dfs"\} ([1-9]\d*)`)
+	// Path-discovery instrumentation flowed into the histograms (the
+	// pipeline's default is the compiled CSR kernel).
+	obsCount := regexp.MustCompile(`upsim_pathdisc_nodes_visited_count\{algorithm="csr-dfs"\} ([1-9]\d*)`)
 	if !obsCount.MatchString(exposition) {
 		t.Errorf("nodes_visited observations missing:\n%s", grepLines(exposition, "upsim_pathdisc_nodes_visited_count"))
 	}

@@ -212,6 +212,7 @@ type pathsResponse struct {
 	EdgeVisits   int      `json:"edgeVisits"`
 	NodesVisited int      `json:"nodesVisited"`
 	MaxStack     int      `json:"maxStack"`
+	Pruned       int      `json:"pruned"`
 	Truncated    bool     `json:"truncated"`
 }
 
@@ -225,7 +226,9 @@ func handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	paths, stats, err := pathdisc.AllPaths(gen.Graph(), req.From, req.To,
+	// The generator compiled the CSR kernel at load time; enumerate through
+	// it rather than the map-based walker.
+	paths, stats, err := gen.Compiled().AllPaths(req.From, req.To,
 		pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -236,6 +239,7 @@ func handlePaths(w http.ResponseWriter, r *http.Request) {
 		EdgeVisits:   stats.EdgeVisits,
 		NodesVisited: stats.NodeVisits,
 		MaxStack:     stats.MaxStack,
+		Pruned:       stats.Pruned,
 		Truncated:    stats.Truncated,
 	}
 	for _, p := range paths {
@@ -302,6 +306,7 @@ type serviceStatsJSON struct {
 	EdgeVisits    int    `json:"edgeVisits"`
 	NodesVisited  int    `json:"nodesVisited"`
 	MaxStack      int    `json:"maxStack"`
+	Pruned        int    `json:"pruned"`
 	Truncated     bool   `json:"truncated"`
 }
 
@@ -357,6 +362,7 @@ func buildGenerateResponse(res *core.Result) generateResponse {
 			EdgeVisits:    sp.Stats.EdgeVisits,
 			NodesVisited:  sp.Stats.NodeVisits,
 			MaxStack:      sp.Stats.MaxStack,
+			Pruned:        sp.Stats.Pruned,
 			Truncated:     sp.Stats.Truncated,
 		})
 	}

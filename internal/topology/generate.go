@@ -95,6 +95,36 @@ func Star(n int) (*Graph, error) {
 	return g, nil
 }
 
+// Ladder generates the ladder graph of 2n nodes: two parallel chains
+// n0—n1—…—n(n-1) and n<n>—…—n(2n-1) with a rung between opposite nodes
+// (n<i>—n<n+i>). Its path count between the chain ends grows only linearly
+// with n, making it the low-branching counterpart to Mesh in the
+// scalability experiments — exactly the "real networks usually contain few
+// loops" regime of Section V-D.
+func Ladder(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: Ladder rungs %d < 2", n)
+	}
+	g := New()
+	for i := 0; i < 2*n; i++ {
+		_ = g.AddNode(fmt.Sprintf("n%d", i), "Node")
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), ""); err != nil {
+			return nil, err
+		}
+		if _, err := g.AddEdge(fmt.Sprintf("n%d", n+i), fmt.Sprintf("n%d", n+i+1), ""); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", n+i), ""); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // Mesh generates the complete graph K_n — the paper's O(n!) worst case.
 func Mesh(n int) (*Graph, error) {
 	if n < 1 {

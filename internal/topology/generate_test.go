@@ -84,6 +84,34 @@ func TestMesh(t *testing.T) {
 	}
 }
 
+func TestLadder(t *testing.T) {
+	g, err := Ladder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2n nodes, 2(n-1) rail edges + n rungs.
+	if g.NumNodes() != 10 || g.NumEdges() != 13 {
+		t.Errorf("ladder(5) = %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("ladder must be connected")
+	}
+	// Corners have degree 2, interior rail nodes degree 3.
+	for _, c := range []string{"n0", "n4", "n5", "n9"} {
+		if g.Degree(c) != 2 {
+			t.Errorf("ladder corner degree(%s) = %d", c, g.Degree(c))
+		}
+	}
+	for _, in := range []string{"n1", "n2", "n3", "n6", "n7", "n8"} {
+		if g.Degree(in) != 3 {
+			t.Errorf("ladder interior degree(%s) = %d", in, g.Degree(in))
+		}
+	}
+	if _, err := Ladder(1); err == nil {
+		t.Error("ladder(1) should fail")
+	}
+}
+
 func TestRandomConnected(t *testing.T) {
 	g, err := RandomConnected(50, 0, 42)
 	if err != nil {

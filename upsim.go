@@ -135,6 +135,20 @@ func AllPaths(g *Graph, from, to string, opts PathOptions) ([]Path, PathStats, e
 	return pathdisc.AllPaths(g, from, to, opts)
 }
 
+// CompiledGraph is a topology lowered into a CSR (compressed sparse row)
+// integer-indexed form by Compile. Its enumeration methods (AllPaths,
+// AllPathsIterative, AllPathsParallel) return exactly the same path sets as
+// the package-level functions but skip the per-call map allocations and
+// prune expansions that cannot reach the provider. A CompiledGraph is
+// immutable and safe for concurrent use; Generators compile their
+// infrastructure graph automatically (Generator.Compiled).
+type CompiledGraph = pathdisc.Compiled
+
+// Compile lowers a topology graph into its CSR form once, so that repeated
+// path enumerations against the same topology amortise the string-to-index
+// mapping and adjacency layout. See ExampleCompile.
+func Compile(g *Graph) *CompiledGraph { return pathdisc.Compile(g) }
+
 // CountPaths counts all simple paths without storing them — the memory-safe
 // choice for the dense-graph scalability studies.
 func CountPaths(g *Graph, from, to string, opts PathOptions) (int, PathStats, error) {
