@@ -84,7 +84,7 @@ func TestExperimentListComplete(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	if len(seen) != 21 {
-		t.Errorf("experiments = %d, want 21", len(seen))
+	if len(seen) != 22 {
+		t.Errorf("experiments = %d, want 22", len(seen))
 	}
 }

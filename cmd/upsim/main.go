@@ -334,6 +334,7 @@ func cmdAvail(args []string) error {
 	formula1 := fs.Bool("formula1", false, "use the paper's Formula 1 instead of the exact component availability")
 	mcSamples := fs.Int("mc", 200000, "Monte-Carlo sample count")
 	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
+	mcWorkers := fs.Int("mc-workers", 0, "Monte-Carlo workers: 0 sequential, >0 that many shards, <0 one per CPU")
 	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -366,11 +367,20 @@ func cmdAvail(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Printf("UPSIM: %d components, %d links, %d paths, %d expansions pruned\n",
+		res.Graph.NumNodes(), res.Graph.NumEdges(), res.TotalPaths, res.Pruned)
 	model := upsim.ModelExact
 	if *formula1 {
 		model = upsim.ModelFormula1
 	}
-	rep, err := upsim.AnalyzeContext(ctx, res, model, *mcSamples, *seed)
+	_, cs, _, err := upsim.CompiledStructureOf(res, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled kernel: %d components interned, %d-word bitsets\n",
+		cs.NumComponents(), cs.Words())
+	rep, err := upsim.AnalyzeWithOptions(ctx, res, model, *mcSamples, *seed,
+		upsim.AnalyzeOptions{MCWorkers: *mcWorkers})
 	if err != nil {
 		return err
 	}
@@ -379,7 +389,14 @@ func cmdAvail(args []string) error {
 	fmt.Printf("exact:        %.10f\n", rep.Exact)
 	fmt.Printf("naive RBD:    %.10f\n", rep.RBDApprox)
 	fmt.Printf("fault tree:   %.10f\n", rep.FTApprox)
-	fmt.Printf("Monte Carlo:  %.6f ± %.6f (%d samples)\n", rep.MonteCarlo, rep.MCStdErr, *mcSamples)
+	sampler := "sequential"
+	if *mcWorkers != 0 {
+		sampler = fmt.Sprintf("%d workers", *mcWorkers)
+		if *mcWorkers < 0 {
+			sampler = "one worker per CPU"
+		}
+	}
+	fmt.Printf("Monte Carlo:  %.6f ± %.6f (%d samples, %s)\n", rep.MonteCarlo, rep.MCStdErr, *mcSamples, sampler)
 	fmt.Printf("downtime:     %.1f hours/year\n", rep.DowntimePerYearHours)
 	printTrace()
 	return nil

@@ -1,0 +1,834 @@
+package depend
+
+// This file implements the compiled dependability kernel: a one-time
+// lowering of a ServiceStructure into interned integer component ids and
+// []uint64 bitset path sets, over which the §VII analysis algorithms run
+// without string hashing or per-candidate map allocation. Subset tests and
+// transversal hits become AND/AND-NOT word operations, Minimalize compares
+// popcounts and lowest differing bits instead of joined strings, the
+// inclusion–exclusion sum keeps an incremental union (counts vector +
+// presence bitset) across the binary subset enumeration, and Monte Carlo
+// sampling evaluates the structure function word-wise against a bitset up
+// vector. Every algorithm reproduces the legacy map implementation exactly:
+// same sets in the same canonical (cardinality, then element-wise
+// lexicographic) order, same error messages, and bit-identical floats —
+// component ids are assigned in sorted-name order, so ascending-id bit
+// iteration multiplies availabilities in exactly the order the legacy code
+// does after its determinization. See DESIGN.md §10.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"upsim/internal/obs"
+)
+
+// Compiled-kernel metrics: compilation events and the size of the most
+// recent structure, exposed on /metrics next to the per-algorithm analysis
+// histograms observed by AnalyzeContext.
+var (
+	mDependCompile = obs.NewCounter("upsim_depend_compile_total",
+		"Service structures lowered to the bitset kernel.")
+	mDependComponents = obs.NewGauge("upsim_depend_compiled_components",
+		"Component count of the most recently compiled structure.")
+)
+
+// bitset is a fixed-width set of component ids, one bit per id.
+type bitset []uint64
+
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// containsAll reports sub ⊆ super.
+func containsAll(sub, super bitset) bool {
+	for w, x := range sub {
+		if x&^super[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports sub ∩ super ≠ ∅.
+func intersects(a, b bitset) bool {
+	for w, x := range a {
+		if x&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(b bitset) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// compareBits orders bitsets by cardinality, then element-wise
+// lexicographically on the sorted member sequence. For equal cardinality
+// the first differing element is the lowest bit of the symmetric
+// difference, and the set containing it sorts first — because ids are
+// interned in sorted-name order this reproduces comparePathSets exactly.
+func compareBits(a, b bitset) int {
+	if ca, cb := popcount(a), popcount(b); ca != cb {
+		return ca - cb
+	}
+	for w, x := range a {
+		if d := x ^ b[w]; d != 0 {
+			if x&(d&-d) != 0 {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// minimalizeBits is Minimalize on bitsets: sort canonically, drop adjacent
+// duplicates, drop supersets of kept sets. It filters in place over the
+// input slice header and returns a prefix-orderd new slice of survivors.
+func minimalizeBits(sets []bitset) []bitset {
+	sort.Slice(sets, func(i, j int) bool { return compareBits(sets[i], sets[j]) < 0 })
+	var out []bitset
+	for i, cand := range sets {
+		if i > 0 && compareBits(sets[i-1], cand) == 0 {
+			continue
+		}
+		dominated := false
+		for _, kept := range out {
+			if containsAll(kept, cand) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// arenaChunk is the block size (in words) of the bitset scratch arena.
+const arenaChunk = 4096
+
+// bitArena is a bump allocator for transient bitsets (cross-product unions,
+// transversal candidates). Blocks are recycled through the compiled
+// structure's sync.Pool, so steady-state analysis allocates nothing per
+// candidate. Allocated bitsets are only valid until the arena is returned.
+type bitArena struct {
+	blocks [][]uint64
+	bi     int // current block
+	off    int // next free word in current block
+}
+
+func (a *bitArena) reset() { a.bi, a.off = 0, 0 }
+
+func (a *bitArena) alloc(w int) bitset {
+	if w == 0 {
+		return nil
+	}
+	for {
+		if a.bi == len(a.blocks) {
+			n := arenaChunk
+			if w > n {
+				n = w
+			}
+			a.blocks = append(a.blocks, make([]uint64, n))
+		}
+		if blk := a.blocks[a.bi]; a.off+w <= len(blk) {
+			b := blk[a.off : a.off+w : a.off+w]
+			a.off += w
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}
+		a.bi++
+		a.off = 0
+	}
+}
+
+// compiledAtomic is one atomic service in interned form: its path sets as
+// bitsets, in the original declaration order.
+type compiledAtomic struct {
+	name string
+	sets []bitset
+}
+
+// CompiledStructure is the interned, bitset form of a ServiceStructure,
+// built once by Compile and reusable across any number of analyses. It is
+// immutable after construction and safe for concurrent use; per-analysis
+// scratch comes from an internal sync.Pool. Component ids are dense ints in
+// sorted-name order, so ascending-id iteration visits components exactly as
+// the legacy code's sorted Components() loops do.
+type CompiledStructure struct {
+	names   []string         // dense component id -> name (sorted)
+	index   map[string]int32 // name -> dense component id
+	words   int              // bitset width: ceil(len(names)/64)
+	atomics []compiledAtomic
+
+	validErr error // Validate() result of the source structure, if any
+
+	pool sync.Pool // *bitArena
+}
+
+// Compile lowers s into its interned bitset form. An invalid structure
+// still compiles (the component universe is well defined regardless); its
+// Validate error is stored and returned by every analysis entry point,
+// mirroring the legacy methods.
+func Compile(s *ServiceStructure) *CompiledStructure {
+	names := s.Components()
+	cs := &CompiledStructure{
+		names:    names,
+		index:    make(map[string]int32, len(names)),
+		words:    (len(names) + 63) / 64,
+		validErr: s.Validate(),
+	}
+	for i, c := range names {
+		cs.index[c] = int32(i)
+	}
+	cs.atomics = make([]compiledAtomic, 0, len(s.AtomicServices))
+	for _, a := range s.AtomicServices {
+		ca := compiledAtomic{name: a.Name, sets: make([]bitset, 0, len(a.PathSets))}
+		for _, ps := range a.PathSets {
+			b := make(bitset, cs.words)
+			for _, c := range ps {
+				b.set(cs.index[c])
+			}
+			ca.sets = append(ca.sets, b)
+		}
+		cs.atomics = append(cs.atomics, ca)
+	}
+	cs.pool.New = func() any { return new(bitArena) }
+	mDependCompile.With().Inc()
+	mDependComponents.With().Set(int64(len(names)))
+	return cs
+}
+
+// Components returns the sorted distinct component ids of the structure —
+// identical to the legacy ServiceStructure.Components.
+func (cs *CompiledStructure) Components() []string {
+	return append([]string(nil), cs.names...)
+}
+
+// NumComponents returns the size of the interned component universe.
+func (cs *CompiledStructure) NumComponents() int { return len(cs.names) }
+
+// Words returns the number of 64-bit words one packed component set spans.
+func (cs *CompiledStructure) Words() int { return cs.words }
+
+// Err returns the Validate error of the source structure, if any.
+func (cs *CompiledStructure) Err() error { return cs.validErr }
+
+func (cs *CompiledStructure) getArena() *bitArena {
+	a := cs.pool.Get().(*bitArena)
+	a.reset()
+	return a
+}
+
+func (cs *CompiledStructure) putArena(a *bitArena) { cs.pool.Put(a) }
+
+// packAvail lowers the availability map onto the dense id space, with the
+// exact validation (and error messages) of the legacy checkAvail.
+func (cs *CompiledStructure) packAvail(avail map[string]float64) ([]float64, error) {
+	pa := make([]float64, len(cs.names))
+	for i, c := range cs.names {
+		a, ok := avail[c]
+		if !ok {
+			return nil, fmt.Errorf("depend: no availability for component %q", c)
+		}
+		if err := checkProb(a, "availability of "+c); err != nil {
+			return nil, err
+		}
+		pa[i] = a
+	}
+	return pa, nil
+}
+
+// toPathSets converts bitsets back to sorted component-name sets, the
+// boundary representation shared with the legacy API.
+func (cs *CompiledStructure) toPathSets(sets []bitset) []PathSet {
+	out := make([]PathSet, 0, len(sets))
+	for _, b := range sets {
+		ps := make(PathSet, 0, popcount(b))
+		for w, word := range b {
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				ps = append(ps, cs.names[i])
+				word &= word - 1
+			}
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// ServicePathSets is the compiled form of ServiceStructure.ServicePathSets:
+// the minimal path sets of the composite service, as the minimalised
+// cross-product of the per-atomic path sets.
+func (cs *CompiledStructure) ServicePathSets(limit int) ([]PathSet, error) {
+	sets, ar, err := cs.servicePathBits(limit)
+	if err != nil {
+		return nil, err
+	}
+	out := cs.toPathSets(sets)
+	cs.putArena(ar)
+	return out, nil
+}
+
+// servicePathBits returns the minimal service path sets as arena-allocated
+// bitsets; the caller must putArena the returned arena when done with them.
+func (cs *CompiledStructure) servicePathBits(limit int) ([]bitset, *bitArena, error) {
+	if cs.validErr != nil {
+		return nil, nil, cs.validErr
+	}
+	if limit <= 0 {
+		limit = DefaultSetLimit
+	}
+	raw := 1
+	for _, a := range cs.atomics {
+		raw *= len(a.sets)
+		if raw > limit {
+			return nil, nil, fmt.Errorf("depend: service path-set expansion needs %d unions, limit %d", raw, limit)
+		}
+	}
+	ar := cs.getArena()
+	unions := []bitset{ar.alloc(cs.words)}
+	for _, a := range cs.atomics {
+		next := make([]bitset, 0, len(unions)*len(a.sets))
+		for _, u := range unions {
+			for _, ps := range a.sets {
+				nu := ar.alloc(cs.words)
+				for w := range nu {
+					nu[w] = u[w] | ps[w]
+				}
+				next = append(next, nu)
+			}
+		}
+		unions = next
+	}
+	return minimalizeBits(unions), ar, nil
+}
+
+// MinimalCutSets is the compiled form of ServiceStructure.MinimalCutSets:
+// minimal hitting sets of each atomic service's path sets, minimalised
+// across atomic services.
+func (cs *CompiledStructure) MinimalCutSets(limit int) ([]PathSet, error) {
+	sets, ar, err := cs.minimalCutBits(limit)
+	if err != nil {
+		return nil, err
+	}
+	out := cs.toPathSets(sets)
+	cs.putArena(ar)
+	return out, nil
+}
+
+func (cs *CompiledStructure) minimalCutBits(limit int) ([]bitset, *bitArena, error) {
+	if cs.validErr != nil {
+		return nil, nil, cs.validErr
+	}
+	if limit <= 0 {
+		limit = DefaultSetLimit
+	}
+	ar := cs.getArena()
+	var all []bitset
+	for _, a := range cs.atomics {
+		cuts, err := transversalsBits(a.sets, cs.words, limit, ar)
+		if err != nil {
+			cs.putArena(ar)
+			return nil, nil, fmt.Errorf("depend: atomic service %q: %w", a.name, err)
+		}
+		all = append(all, cuts...)
+	}
+	return minimalizeBits(all), ar, nil
+}
+
+// transversalsBits is the bitset transversal construction: extending a
+// transversal is copy + one OR, the hit test is a word-AND, and all
+// candidates live in the arena.
+func transversalsBits(sets []bitset, words, limit int, ar *bitArena) ([]bitset, error) {
+	cur := []bitset{ar.alloc(words)}
+	for _, ps := range sets {
+		next := make([]bitset, 0, len(cur))
+		for _, t := range cur {
+			if intersects(t, ps) {
+				next = append(next, t)
+				continue
+			}
+			for w, word := range ps {
+				for word != 0 {
+					low := word & -word
+					nt := ar.alloc(words)
+					copy(nt, t)
+					nt[w] |= low
+					next = append(next, nt)
+					word &^= low
+				}
+			}
+			if len(next) > limit {
+				return nil, fmt.Errorf("transversal expansion exceeds limit %d", limit)
+			}
+		}
+		cur = minimalizeBits(next)
+	}
+	return cur, nil
+}
+
+// EsaryProschan is the compiled form of ServiceStructure.EsaryProschan.
+// Cut/path products run over ascending ids — the sorted component order of
+// the legacy loops — so the bounds are bit-identical.
+func (cs *CompiledStructure) EsaryProschan(avail map[string]float64, limit int) (Bounds, error) {
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return Bounds{}, err
+	}
+	paths, arPaths, err := cs.servicePathBits(limit)
+	if err != nil {
+		return Bounds{}, err
+	}
+	defer cs.putArena(arPaths)
+	cuts, arCuts, err := cs.minimalCutBits(limit)
+	if err != nil {
+		return Bounds{}, err
+	}
+	defer cs.putArena(arCuts)
+	lower := 1.0
+	for _, k := range cuts {
+		qAll := 1.0
+		for w, word := range k {
+			for word != 0 {
+				qAll *= 1 - pa[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+			}
+		}
+		lower *= 1 - qAll
+	}
+	upperFail := 1.0
+	for _, p := range paths {
+		aAll := 1.0
+		for w, word := range p {
+			for word != 0 {
+				aAll *= pa[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+			}
+		}
+		upperFail *= 1 - aAll
+	}
+	return Bounds{Lower: lower, Upper: 1 - upperFail}, nil
+}
+
+// ExactInclusionExclusion is the compiled form of
+// ServiceStructure.ExactInclusionExclusion. Subsets are enumerated in the
+// same ascending binary mask order as the legacy loop — not reflected Gray
+// order, which would reorder the alternating-sign summation and break the
+// 1-ulp equivalence bound — but the union is maintained incrementally: a
+// mask increment toggles exactly the trailing-run paths (the binary-carry
+// ruler sequence, amortised O(1) toggles per step), updating a per-component
+// membership count vector and a presence bitset instead of rebuilding a map
+// per subset. The availability product runs over present ids ascending,
+// which is the determinized legacy order, so the sum is bit-identical.
+func (cs *CompiledStructure) ExactInclusionExclusion(avail map[string]float64, limit int) (float64, error) {
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return 0, err
+	}
+	paths, ar, err := cs.servicePathBits(0)
+	if err != nil {
+		return 0, err
+	}
+	defer cs.putArena(ar)
+	if limit <= 0 {
+		limit = 20
+	}
+	n := len(paths)
+	if n > limit {
+		return 0, fmt.Errorf("depend: inclusion-exclusion over %d path sets exceeds limit %d", n, limit)
+	}
+	counts := make([]int32, len(cs.names))
+	present := make(bitset, cs.words)
+	toggle := func(i int, add bool) {
+		for w, word := range paths[i] {
+			for word != 0 {
+				c := w<<6 + bits.TrailingZeros64(word)
+				if add {
+					counts[c]++
+					if counts[c] == 1 {
+						present[w] |= word & -word
+					}
+				} else {
+					counts[c]--
+					if counts[c] == 0 {
+						present[w] &^= word & -word
+					}
+				}
+				word &= word - 1
+			}
+		}
+	}
+	total := 0.0
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		// mask-1 → mask flips bits 0..k where k = trailing zeros of mask:
+		// paths 0..k-1 leave the subset, path k enters it.
+		k := bits.TrailingZeros(uint(mask))
+		for i := 0; i < k; i++ {
+			toggle(i, false)
+		}
+		toggle(k, true)
+		prod := 1.0
+		for w, word := range present {
+			for word != 0 {
+				prod *= pa[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+			}
+		}
+		if bits.OnesCount(uint(mask))%2 == 1 {
+			total += prod
+		} else {
+			total -= prod
+		}
+	}
+	return total, nil
+}
+
+// Exact is the compiled form of ServiceStructure.Exact: Shannon factoring
+// with the same pivot rule (most frequent component, ties to the smallest
+// name — here the smallest id) and a memo keyed on the canonical multiset
+// encoding of the conditioned formula. Same pivots at every node means the
+// same float expression tree, so the result is bit-identical to legacy.
+func (cs *CompiledStructure) Exact(avail map[string]float64) (float64, error) {
+	if cs.validErr != nil {
+		return 0, cs.validErr
+	}
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return 0, err
+	}
+	return cs.exactPacked(pa), nil
+}
+
+func (cs *CompiledStructure) exactPacked(pa []float64) float64 {
+	f := make([][]bitset, len(cs.atomics))
+	for i, a := range cs.atomics {
+		f[i] = append([]bitset(nil), a.sets...)
+	}
+	memo := make(map[string]float64)
+	return cs.factorBits(f, pa, memo)
+}
+
+func (cs *CompiledStructure) factorBits(f [][]bitset, pa []float64, memo map[string]float64) float64 {
+	key := cs.bitKey(f)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	c := mostFrequentBit(f, len(cs.names))
+	a := pa[c]
+	var up, down float64
+	if fUp, konst := conditionBits(f, c, true); konst >= 0 {
+		up = float64(konst)
+	} else {
+		up = cs.factorBits(fUp, pa, memo)
+	}
+	if fDown, konst := conditionBits(f, c, false); konst >= 0 {
+		down = float64(konst)
+	} else {
+		down = cs.factorBits(fDown, pa, memo)
+	}
+	v := a*up + (1-a)*down
+	memo[key] = v
+	return v
+}
+
+// bitKey encodes the formula as a canonical byte string: each set is its
+// fixed-width word image, sets are sorted within an atomic, atomics are
+// count-prefixed and sorted. Two formulas get the same key iff they are
+// equal as multisets of set multisets — the same equivalence classes the
+// legacy string key induces, so memo hits coincide.
+func (cs *CompiledStructure) bitKey(f [][]bitset) string {
+	atomKeys := make([]string, 0, len(f))
+	for _, sets := range f {
+		setKeys := make([]string, 0, len(sets))
+		for _, ps := range sets {
+			b := make([]byte, cs.words*8)
+			for i, w := range ps {
+				binary.LittleEndian.PutUint64(b[i*8:], w)
+			}
+			setKeys = append(setKeys, string(b))
+		}
+		sort.Strings(setKeys)
+		ab := binary.AppendUvarint(nil, uint64(len(setKeys)))
+		for _, sk := range setKeys {
+			ab = append(ab, sk...)
+		}
+		atomKeys = append(atomKeys, string(ab))
+	}
+	sort.Strings(atomKeys)
+	var buf []byte
+	for _, ak := range atomKeys {
+		buf = append(buf, ak...)
+	}
+	return string(buf)
+}
+
+// mostFrequentBit returns the component on the most path sets; ascending
+// scan with strict improvement resolves ties to the smallest id, which is
+// the smallest name — the legacy tie rule.
+func mostFrequentBit(f [][]bitset, n int) int32 {
+	counts := make([]int32, n)
+	for _, sets := range f {
+		for _, ps := range sets {
+			for w, word := range ps {
+				for word != 0 {
+					counts[w<<6+bits.TrailingZeros64(word)]++
+					word &= word - 1
+				}
+			}
+		}
+	}
+	best, bestN := int32(0), int32(-1)
+	for i, cnt := range counts {
+		if cnt > bestN {
+			best, bestN = int32(i), cnt
+		}
+	}
+	return best
+}
+
+// conditionBits mirrors formula.condition on bitsets; the constant return
+// has the same meaning (0 false, 1 true, -1 use formula).
+func conditionBits(f [][]bitset, c int32, up bool) ([][]bitset, int) {
+	w, bit := int(c>>6), uint64(1)<<(uint(c)&63)
+	out := make([][]bitset, 0, len(f))
+	for _, sets := range f {
+		var newSets []bitset
+		satisfied := false
+		for _, ps := range sets {
+			switch {
+			case ps[w]&bit == 0:
+				newSets = append(newSets, ps)
+			case up:
+				reduced := append(bitset(nil), ps...)
+				reduced[w] &^= bit
+				empty := true
+				for _, x := range reduced {
+					if x != 0 {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					satisfied = true
+				} else {
+					newSets = append(newSets, reduced)
+				}
+			default:
+				// Component down: the path set fails; drop it.
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if len(newSets) == 0 {
+			return nil, 0
+		}
+		out = append(out, newSets)
+	}
+	if len(out) == 0 {
+		return nil, 1
+	}
+	return out, -1
+}
+
+// MonteCarlo is the compiled form of ServiceStructure.MonteCarlo. It draws
+// the identical rand stream (one Float64 per component in sorted order per
+// sample), so the estimate matches legacy exactly per seed; the structure
+// function evaluates word-wise against a bitset up vector instead of
+// per-component slice indexing behind a map lookup.
+func (cs *CompiledStructure) MonteCarlo(avail map[string]float64, samples int, seed int64) (est, stderr float64, err error) {
+	if cs.validErr != nil {
+		return 0, 0, cs.validErr
+	}
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return 0, 0, err
+	}
+	if samples < 1 {
+		return 0, 0, fmt.Errorf("depend: MonteCarlo needs at least 1 sample, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	up := make(bitset, cs.words)
+	good := 0
+	for n := 0; n < samples; n++ {
+		for i := range up {
+			up[i] = 0
+		}
+		for i := range pa {
+			if rng.Float64() < pa[i] {
+				up[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		if cs.evalUp(up) {
+			good++
+		}
+	}
+	p := float64(good) / float64(samples)
+	return p, math.Sqrt(p * (1 - p) / float64(samples)), nil
+}
+
+// evalUp evaluates the structure function: every atomic service needs some
+// path set fully contained in the up vector.
+func (cs *CompiledStructure) evalUp(up bitset) bool {
+	for _, a := range cs.atomics {
+		works := false
+		for _, set := range a.sets {
+			if containsAll(set, up) {
+				works = true
+				break
+			}
+		}
+		if !works {
+			return false
+		}
+	}
+	return true
+}
+
+// MonteCarloParallel is the compiled form of
+// ServiceStructure.MonteCarloParallel, with the identical shard split and
+// sub-seed derivation, so (samples, seed, workers) reproduces the legacy
+// estimate exactly.
+func (cs *CompiledStructure) MonteCarloParallel(avail map[string]float64, samples int, seed int64, workers int) (est, stderr float64, err error) {
+	if cs.validErr != nil {
+		return 0, 0, cs.validErr
+	}
+	if _, err := cs.packAvail(avail); err != nil {
+		return 0, 0, err
+	}
+	if samples < 1 {
+		return 0, 0, fmt.Errorf("depend: MonteCarloParallel needs at least 1 sample, got %d", samples)
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > samples {
+		workers = samples
+	}
+	type shard struct {
+		good int
+		n    int
+		err  error
+	}
+	results := make(chan shard, workers)
+	per := samples / workers
+	extra := samples % workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, subSeed int64) {
+			defer wg.Done()
+			p, _, err := cs.MonteCarlo(avail, n, subSeed)
+			results <- shard{good: int(p*float64(n) + 0.5), n: n, err: err}
+		}(n, seed+int64(w)*0x9E3779B9)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	good, total := 0, 0
+	for r := range results {
+		if r.err != nil {
+			return 0, 0, r.err
+		}
+		good += r.good
+		total += r.n
+	}
+	p := float64(good) / float64(total)
+	return p, math.Sqrt(p * (1 - p) / float64(total)), nil
+}
+
+// WhatIf is the compiled form of ServiceStructure.WhatIf: exact availability
+// with the given components forced up or down. As in legacy, a forced
+// component must be a key of the availability map; forcing a component that
+// is in the map but not in the structure is a no-op.
+func (cs *CompiledStructure) WhatIf(avail map[string]float64, forced map[string]bool) (float64, error) {
+	for c := range forced {
+		if _, ok := avail[c]; !ok {
+			return 0, fmt.Errorf("depend: forced component %q not in structure", c)
+		}
+	}
+	if cs.validErr != nil {
+		return 0, cs.validErr
+	}
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return 0, err
+	}
+	for c, up := range forced {
+		id, ok := cs.index[c]
+		if !ok {
+			continue
+		}
+		if up {
+			pa[id] = 1
+		} else {
+			pa[id] = 0
+		}
+	}
+	return cs.exactPacked(pa), nil
+}
+
+// Birnbaum is the compiled form of ServiceStructure.Birnbaum.
+func (cs *CompiledStructure) Birnbaum(avail map[string]float64, component string) (float64, error) {
+	if cs.validErr != nil {
+		return 0, cs.validErr
+	}
+	pa, err := cs.packAvail(avail)
+	if err != nil {
+		return 0, err
+	}
+	id, ok := cs.index[component]
+	if !ok {
+		return 0, fmt.Errorf("depend: component %q not in structure", component)
+	}
+	paUp := append([]float64(nil), pa...)
+	paUp[id] = 1
+	paDown := append([]float64(nil), pa...)
+	paDown[id] = 0
+	return cs.exactPacked(paUp) - cs.exactPacked(paDown), nil
+}
+
+// FussellVesely is the compiled form of ServiceStructure.FussellVesely.
+func (cs *CompiledStructure) FussellVesely(avail map[string]float64, component string) (float64, error) {
+	base, err := cs.Exact(avail)
+	if err != nil {
+		return 0, err
+	}
+	qSys := 1 - base
+	if qSys == 0 {
+		return 0, nil // a perfect system attributes no unavailability
+	}
+	perfect, err := cs.WhatIf(avail, map[string]bool{component: true})
+	if err != nil {
+		return 0, err
+	}
+	return ((1 - base) - (1 - perfect)) / qSys, nil
+}

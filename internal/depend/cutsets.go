@@ -3,7 +3,6 @@ package depend
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // This file adds the classical fault-tree companions to the structure
@@ -90,35 +89,51 @@ func (s *ServiceStructure) MinimalCutSets(limit int) ([]PathSet, error) {
 // transversals computes the minimal hitting sets of the given sets by
 // incremental transversal construction: start with the singletons of the
 // first set; for each further set, extend every transversal that misses it.
+// Transversals are kept as sorted PathSets throughout — the canonicalization
+// is hoisted out of the per-round minimalization, which used to convert
+// every candidate map to a sorted slice and back on every round.
 func transversals(sets []PathSet, limit int) ([]PathSet, error) {
-	cur := []map[string]bool{{}}
+	cur := []PathSet{{}}
 	for _, ps := range sets {
-		var next []map[string]bool
+		var next []PathSet
 		for _, t := range cur {
-			if hits(t, ps) {
+			if hitsSorted(t, ps) {
 				next = append(next, t)
 				continue
 			}
 			for _, c := range ps {
-				nt := make(map[string]bool, len(t)+1)
-				for x := range t {
-					nt[x] = true
-				}
-				nt[c] = true
-				next = append(next, nt)
+				next = append(next, insertSorted(t, c))
 			}
 			if len(next) > limit {
 				return nil, fmt.Errorf("transversal expansion exceeds limit %d", limit)
 			}
 		}
-		next = minimalizeMaps(next)
-		cur = next
+		cur = Minimalize(next)
 	}
-	out := make([]PathSet, 0, len(cur))
-	for _, t := range cur {
-		out = append(out, setToSorted(t))
+	return cur, nil
+}
+
+// hitsSorted reports whether the sorted transversal t intersects ps.
+func hitsSorted(t PathSet, ps PathSet) bool {
+	for _, c := range ps {
+		i := sort.SearchStrings(t, c)
+		if i < len(t) && t[i] == c {
+			return true
+		}
 	}
-	return Minimalize(out), nil
+	return false
+}
+
+// insertSorted returns sorted t with c added (t itself when c is present).
+func insertSorted(t PathSet, c string) PathSet {
+	i := sort.SearchStrings(t, c)
+	if i < len(t) && t[i] == c {
+		return t
+	}
+	nt := make(PathSet, 0, len(t)+1)
+	nt = append(nt, t[:i]...)
+	nt = append(nt, c)
+	return append(nt, t[i:]...)
 }
 
 func hits(t map[string]bool, ps PathSet) bool {
@@ -139,23 +154,41 @@ func setToSorted(m map[string]bool) PathSet {
 	return out
 }
 
+// comparePathSets orders sorted sets by cardinality, then element-wise
+// lexicographically. This is the canonical cut/path-set ordering of the
+// whole package: the compiled kernel reproduces it on bitsets (popcount,
+// then lowest differing component id), which is only possible because the
+// comparison is per element rather than over a joined string.
+func comparePathSets(a, b PathSet) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Minimalize removes every set that is a (non-strict) superset of another
 // set, and deduplicates. The input sets must be sorted; the output is
-// sorted by size then lexicographically.
+// sorted by size then element-wise lexicographically. Duplicates are
+// adjacent after sorting, so no key strings are built: the former
+// strings.Join canonicalization per candidate was the dominant allocation
+// in transversal expansion.
 func Minimalize(sets []PathSet) []PathSet {
 	ordered := make([]PathSet, len(sets))
 	copy(ordered, sets)
 	sort.Slice(ordered, func(i, j int) bool {
-		if len(ordered[i]) != len(ordered[j]) {
-			return len(ordered[i]) < len(ordered[j])
-		}
-		return strings.Join(ordered[i], ",") < strings.Join(ordered[j], ",")
+		return comparePathSets(ordered[i], ordered[j]) < 0
 	})
 	var out []PathSet
-	seen := map[string]bool{}
-	for _, cand := range ordered {
-		key := strings.Join(cand, ",")
-		if seen[key] {
+	for i, cand := range ordered {
+		if i > 0 && comparePathSets(ordered[i-1], cand) == 0 {
 			continue
 		}
 		dominated := false
@@ -168,7 +201,6 @@ func Minimalize(sets []PathSet) []PathSet {
 		if dominated {
 			continue
 		}
-		seen[key] = true
 		out = append(out, cand)
 	}
 	return out
@@ -186,23 +218,6 @@ func isSubset(sub, super PathSet) bool {
 		}
 	}
 	return i == len(sub)
-}
-
-func minimalizeMaps(ms []map[string]bool) []map[string]bool {
-	sets := make([]PathSet, 0, len(ms))
-	for _, m := range ms {
-		sets = append(sets, setToSorted(m))
-	}
-	min := Minimalize(sets)
-	out := make([]map[string]bool, 0, len(min))
-	for _, ps := range min {
-		m := make(map[string]bool, len(ps))
-		for _, c := range ps {
-			m[c] = true
-		}
-		out = append(out, m)
-	}
-	return out
 }
 
 // Bounds holds the Esary–Proschan availability bounds.
@@ -271,6 +286,10 @@ func (s *ServiceStructure) ExactInclusionExclusion(avail map[string]float64, lim
 	if len(paths) > limit {
 		return 0, fmt.Errorf("depend: inclusion-exclusion over %d path sets exceeds limit %d", len(paths), limit)
 	}
+	// The product over the union must run in a deterministic component
+	// order: map iteration would reorder the float multiplies from call to
+	// call, and the compiled kernel pins itself bit-identical to this path.
+	comps := s.Components()
 	total := 0.0
 	n := len(paths)
 	for mask := 1; mask < 1<<n; mask++ {
@@ -286,8 +305,10 @@ func (s *ServiceStructure) ExactInclusionExclusion(avail map[string]float64, lim
 			}
 		}
 		prod := 1.0
-		for c := range union {
-			prod *= avail[c]
+		for _, c := range comps {
+			if union[c] {
+				prod *= avail[c]
+			}
 		}
 		if bits%2 == 1 {
 			total += prod

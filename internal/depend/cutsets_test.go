@@ -281,7 +281,7 @@ func TestExactInclusionExclusionCrossCheck(t *testing.T) {
 	}
 	// Full pipeline structure.
 	res := analysisFixture(t, 1e6)
-	st, avail, err := FromResult(res, ModelExact)
+	st, _, avail, err := FromResult(res, ModelExact)
 	if err != nil {
 		t.Fatal(err)
 	}

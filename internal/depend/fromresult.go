@@ -3,11 +3,19 @@ package depend
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"upsim/internal/core"
 	"upsim/internal/obs"
 	"upsim/internal/uml"
 )
+
+// mAnalyzeAlg times each §VII analysis stage, split by the kernel that ran
+// it, so a /metrics scrape shows where analysis time goes and what the
+// compiled kernel buys.
+var mAnalyzeAlg = obs.NewHistogram("upsim_depend_algorithm_seconds",
+	"Wall time of §VII dependability analysis stages.",
+	obs.LatencyBuckets, "algorithm", "kernel")
 
 // AvailabilityModel selects how per-component availability is derived from
 // the MTBF/MTTR attributes.
@@ -53,7 +61,21 @@ func LinkComponentID(a, b string, edgeID int) string {
 // components of the UPSIM" and "the availability for individual components
 // can be calculated using the component attributes MTBF and MTTR, as seen
 // in Formula 1".
-func FromResult(res *core.Result, model AvailabilityModel) (*ServiceStructure, map[string]float64, error) {
+// It returns the legacy structure, its compiled (bitset-kernel) form and
+// the availability table; the compiled form shares the validation outcome
+// and produces bit-identical analyses (see compile.go).
+func FromResult(res *core.Result, model AvailabilityModel) (*ServiceStructure, *CompiledStructure, map[string]float64, error) {
+	st, avail, err := fromResult(res, model)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return st, Compile(st), avail, nil
+}
+
+// fromResult builds the legacy structure and availability table only — the
+// shared half of FromResult, kept separate so AnalyzeWithOptions can put the
+// compile step under its own span.
+func fromResult(res *core.Result, model AvailabilityModel) (*ServiceStructure, map[string]float64, error) {
 	if res == nil || res.Source == nil {
 		return nil, nil, fmt.Errorf("depend: nil generation result")
 	}
@@ -161,6 +183,21 @@ type Report struct {
 	Components           int
 }
 
+// AnalyzeOptions tunes the analysis pipeline.
+type AnalyzeOptions struct {
+	// Legacy routes the evaluation through the map-based implementation
+	// instead of the compiled bitset kernel. The results are bit-identical
+	// (pinned by the equivalence property tests); the flag exists as the
+	// ablation escape hatch and participates in the server's analysis cache
+	// key.
+	Legacy bool
+	// MCWorkers selects the Monte Carlo sampler: 0 runs the sequential
+	// sampler (the historical default), any other value runs
+	// MonteCarloParallel with that worker count (< 0 means one worker per
+	// CPU). Different worker counts resample but converge to the same value.
+	MCWorkers int
+}
+
 // Analyze runs the full Section VII analysis pipeline on a generation
 // result: derive component availabilities, build the structure, evaluate
 // exactly, by RBD/FT approximation and by simulation.
@@ -170,39 +207,69 @@ func Analyze(res *core.Result, model AvailabilityModel, mcSamples int, seed int6
 
 // AnalyzeContext is Analyze under a context: when ctx carries an obs span,
 // the analysis is recorded as an "avail.analyze" span with one child per
-// evaluation method (structure extraction, exact, RBD, fault tree, Monte
-// Carlo).
+// evaluation method (structure extraction, kernel compilation, exact, RBD,
+// fault tree, Monte Carlo). It evaluates on the compiled kernel.
 func AnalyzeContext(ctx context.Context, res *core.Result, model AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
+	return AnalyzeWithOptions(ctx, res, model, mcSamples, seed, AnalyzeOptions{})
+}
+
+// AnalyzeWithOptions is AnalyzeContext with explicit kernel and sampler
+// selection.
+func AnalyzeWithOptions(ctx context.Context, res *core.Result, model AvailabilityModel, mcSamples int, seed int64, opts AnalyzeOptions) (*Report, error) {
 	ctx, span := obs.StartSpan(ctx, "avail.analyze")
 	defer span.End()
+	kernel := "compiled"
+	if opts.Legacy {
+		kernel = "legacy"
+	}
+	span.SetAttr("kernel", kernel)
 	stage := func(name string) *obs.Span {
 		_, sp := obs.StartSpan(ctx, name)
 		return sp
 	}
+	observe := func(alg string, start time.Time) {
+		mAnalyzeAlg.With(alg, kernel).Observe(time.Since(start).Seconds())
+	}
 
-	sp := stage("avail.structure")
-	st, avail, err := FromResult(res, model)
+	sp, t0 := stage("avail.structure"), time.Now()
+	st, avail, err := fromResult(res, model)
 	sp.End()
+	observe("structure", t0)
 	if err != nil {
 		return nil, err
 	}
 	span.SetAttr("components", len(st.Components()))
 
-	sp = stage("avail.exact")
-	exact, err := st.Exact(avail)
+	var cs *CompiledStructure
+	if !opts.Legacy {
+		sp, t0 = stage("depend.compile"), time.Now()
+		cs = Compile(st)
+		sp.End()
+		observe("compile", t0)
+	}
+
+	sp, t0 = stage("avail.exact"), time.Now()
+	var exact float64
+	if cs != nil {
+		exact, err = cs.Exact(avail)
+	} else {
+		exact, err = st.Exact(avail)
+	}
 	sp.End()
+	observe("exact", t0)
 	if err != nil {
 		return nil, err
 	}
 
-	sp = stage("avail.rbd")
+	sp, t0 = stage("avail.rbd"), time.Now()
 	rbd, err := st.RBDApprox(avail)
 	sp.End()
+	observe("rbd", t0)
 	if err != nil {
 		return nil, err
 	}
 
-	sp = stage("avail.fault_tree")
+	sp, t0 = stage("avail.fault_tree"), time.Now()
 	ft, err := st.ToFaultTree(avail)
 	if err != nil {
 		sp.End()
@@ -210,14 +277,26 @@ func AnalyzeContext(ctx context.Context, res *core.Result, model AvailabilityMod
 	}
 	topQ, err := ft.Probability()
 	sp.End()
+	observe("fault_tree", t0)
 	if err != nil {
 		return nil, err
 	}
 
-	sp = stage("avail.montecarlo")
+	sp, t0 = stage("avail.montecarlo"), time.Now()
 	sp.SetAttr("samples", mcSamples)
-	mc, se, err := st.MonteCarlo(avail, mcSamples, seed)
+	var mc, se float64
+	switch {
+	case cs != nil && opts.MCWorkers != 0:
+		mc, se, err = cs.MonteCarloParallel(avail, mcSamples, seed, opts.MCWorkers)
+	case cs != nil:
+		mc, se, err = cs.MonteCarlo(avail, mcSamples, seed)
+	case opts.MCWorkers != 0:
+		mc, se, err = st.MonteCarloParallel(avail, mcSamples, seed, opts.MCWorkers)
+	default:
+		mc, se, err = st.MonteCarlo(avail, mcSamples, seed)
+	}
 	sp.End()
+	observe("montecarlo", t0)
 	if err != nil {
 		return nil, err
 	}

@@ -95,7 +95,7 @@ func analysisFixture(t *testing.T, connectorMTBF float64) *core.Result {
 
 func TestFromResult(t *testing.T) {
 	res := analysisFixture(t, 1e6)
-	st, avail, err := FromResult(res, ModelExact)
+	st, _, avail, err := FromResult(res, ModelExact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +153,11 @@ func TestFromResult(t *testing.T) {
 
 func TestFromResultFormula1(t *testing.T) {
 	res := analysisFixture(t, 1e6)
-	_, exact, err := FromResult(res, ModelExact)
+	_, _, exact, err := FromResult(res, ModelExact)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, f1, err := FromResult(res, ModelFormula1)
+	_, _, f1, err := FromResult(res, ModelFormula1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestAnalyze(t *testing.T) {
 }
 
 func TestFromResultErrors(t *testing.T) {
-	if _, _, err := FromResult(nil, ModelExact); err == nil {
+	if _, _, _, err := FromResult(nil, ModelExact); err == nil {
 		t.Error("nil result should fail")
 	}
 	if _, err := Analyze(nil, ModelExact, 10, 1); err == nil {
@@ -241,7 +241,7 @@ func TestFromResultErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := FromResult(res, ModelExact); err == nil || !strings.Contains(err.Error(), "MTBF") {
+	if _, _, _, err := FromResult(res, ModelExact); err == nil || !strings.Contains(err.Error(), "MTBF") {
 		t.Errorf("missing profile error = %v", err)
 	}
 }

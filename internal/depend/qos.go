@@ -119,11 +119,11 @@ func Responsiveness(res *core.Result, model AvailabilityModel, maxHops int) (*Re
 	if maxHops < 1 {
 		return nil, fmt.Errorf("depend: hop budget %d must be positive", maxHops)
 	}
-	st, avail, err := FromResult(res, model)
+	st, cs, avail, err := FromResult(res, model)
 	if err != nil {
 		return nil, err
 	}
-	full, err := st.Exact(avail)
+	full, err := cs.Exact(avail)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +146,7 @@ func Responsiveness(res *core.Result, model AvailabilityModel, maxHops int) (*Re
 		}
 		restricted.AtomicServices = append(restricted.AtomicServices, atomic)
 	}
-	r, err := restricted.Exact(avail)
+	r, err := Compile(restricted).Exact(avail)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ type SensitivityReport struct {
 // come from the exact structure-function engine. Devices aggregate by class
 // name, links by association name.
 func Sensitivity(res *core.Result) (*SensitivityReport, error) {
-	st, avail, err := FromResult(res, ModelExact)
+	st, cs, avail, err := FromResult(res, ModelExact)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +82,7 @@ func Sensitivity(res *core.Result) (*SensitivityReport, error) {
 
 	agg := make(map[string]*ClassSensitivity)
 	for _, comp := range st.Components() {
-		b, err := st.Birnbaum(avail, comp)
+		b, err := cs.Birnbaum(avail, comp)
 		if err != nil {
 			return nil, err
 		}

@@ -66,7 +66,7 @@ func TestSensitivityMatchesFiniteDifference(t *testing.T) {
 			client = cs
 		}
 	}
-	st, avail, err := FromResult(res, ModelExact)
+	st, _, avail, err := FromResult(res, ModelExact)
 	if err != nil {
 		t.Fatal(err)
 	}

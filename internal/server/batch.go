@@ -36,6 +36,7 @@ type BatchItem struct {
 	Formula1          bool   `json:"formula1,omitempty"`
 	MCSamples         int    `json:"mcSamples,omitempty"`
 	Seed              int64  `json:"seed,omitempty"`
+	LegacyKernel      bool   `json:"legacyKernel,omitempty"`
 	MaxHops           int    `json:"maxHops,omitempty"`
 }
 
@@ -144,7 +145,7 @@ func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) Bat
 		Name:              it.Name,
 		AllowDisconnected: it.AllowDisconnected,
 	}
-	res, err := greq.generate(ctx, c)
+	res, genKey, err := greq.generate(ctx, c)
 	if err != nil {
 		out.Error = err.Error()
 		return out
@@ -153,14 +154,14 @@ func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) Bat
 	case OpGenerate:
 		out.Result = buildGenerateResponse(res)
 	case OpAvailability:
-		resp, err := analyzeAvailability(ctx, res, it.Formula1, it.MCSamples, it.Seed)
+		resp, err := analyzeAvailability(ctx, c, genKey, res, it.Formula1, it.MCSamples, it.Seed, it.LegacyKernel)
 		if err != nil {
 			out.Error = err.Error()
 			return out
 		}
 		out.Result = resp
 	case OpQoS:
-		resp, err := analyzeQoS(res, it.MaxHops)
+		resp, err := analyzeQoS(ctx, c, genKey, res, it.MaxHops)
 		if err != nil {
 			out.Error = err.Error()
 			return out

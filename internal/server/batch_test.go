@@ -66,10 +66,12 @@ func TestBatchEndpoint(t *testing.T) {
 			t.Errorf("result[%d] has no payload", i)
 		}
 	}
-	// All three ops share one generate input, so the pipeline ran once: one
-	// miss, two hits-or-shares.
-	if out.Cache.Misses != 1 {
-		t.Errorf("cache misses = %d, want 1 (three identical generate inputs)", out.Cache.Misses)
+	// All three ops share one generate input, so the pipeline ran once (one
+	// generation miss, two hits-or-shares); the availability and qos items
+	// additionally each populate their own analysis cache entry, adding one
+	// first-time miss apiece.
+	if out.Cache.Misses != 3 {
+		t.Errorf("cache misses = %d, want 3 (one generation + two analysis entries)", out.Cache.Misses)
 	}
 	if out.Cache.Hits+out.Cache.Shared != 2 {
 		t.Errorf("cache hits+shared = %d+%d, want 2", out.Cache.Hits, out.Cache.Shared)
@@ -204,5 +206,61 @@ func TestRunBatchLimits(t *testing.T) {
 	over := &BatchRequest{Items: make([]BatchItem, MaxBatchItems+1)}
 	if _, err := RunBatch(context.Background(), c, 0, over); err == nil {
 		t.Errorf("%d items must exceed the limit", MaxBatchItems+1)
+	}
+}
+
+// TestAnalysisCacheReplay asserts the §VII analysis itself is cached per
+// generation content hash: a replayed availability/qos item is served
+// without recompiling the dependability kernel, and the legacyKernel
+// ablation flag keys its own entry while producing bit-identical numbers.
+func TestAnalysisCacheReplay(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	modelXML, mappingXML := fetchArtifacts(t, ts)
+
+	compiled := BatchItem{
+		Op: OpAvailability, ModelXML: modelXML, Diagram: casestudy.DiagramName,
+		Service: casestudy.PrintingServiceName, MappingXML: mappingXML,
+		Name: "upsim", MCSamples: 1000,
+	}
+	legacy := compiled
+	legacy.LegacyKernel = true
+	qos := BatchItem{
+		Op: OpQoS, ModelXML: modelXML, Diagram: casestudy.DiagramName,
+		Service: casestudy.PrintingServiceName, MappingXML: mappingXML,
+		Name: "upsim",
+	}
+	req := &BatchRequest{Items: []BatchItem{compiled, legacy, qos}, Workers: 1}
+
+	c := cache.New(0)
+	cold, err := RunBatch(context.Background(), c, 1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Errors != 0 {
+		t.Fatalf("cold batch errors: %+v", cold.Results)
+	}
+	// 1 generation miss + 3 analysis misses (compiled and legacy
+	// availability key separately, qos once).
+	if cold.Cache.Misses != 4 {
+		t.Errorf("cold misses = %d, want 4", cold.Cache.Misses)
+	}
+
+	warm, err := RunBatch(context.Background(), c, 1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Errors != 0 {
+		t.Fatalf("warm batch errors: %+v", warm.Results)
+	}
+	if warm.Cache.Misses != 4 {
+		t.Errorf("warm replay recomputed: misses = %d, want still 4", warm.Cache.Misses)
+	}
+
+	// The two kernels must agree bit-for-bit through the whole pipeline.
+	cr := cold.Results[0].Result.(availabilityResponse)
+	lr := cold.Results[1].Result.(availabilityResponse)
+	if cr != lr {
+		t.Errorf("compiled %+v != legacy %+v", cr, lr)
 	}
 }

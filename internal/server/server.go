@@ -264,30 +264,41 @@ type generateRequest struct {
 // generate runs the pipeline for one request through the shared cache (nil
 // disables caching). The generator itself is per-request — the cache key is
 // derived from the request content, so identical requests hit the same entry
-// no matter which generator instance computes them.
-func (req *generateRequest) generate(ctx context.Context, c *cache.Cache) (*core.Result, error) {
+// no matter which generator instance computes them. The returned key is the
+// generation content hash; the analysis routes extend it into their own
+// cache keys so replays skip recompilation, not just regeneration.
+func (req *generateRequest) generate(ctx context.Context, c *cache.Cache) (*core.Result, string, error) {
 	_, gen, err := req.load(ctx)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	m := gen.Model()
 	act, ok := m.Activity(req.Service)
 	if !ok {
-		return nil, fmt.Errorf("model has no activity %q", req.Service)
+		return nil, "", fmt.Errorf("model has no activity %q", req.Service)
 	}
 	svc, err := service.FromActivity(act)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	mp, err := mapping.Parse(strings.NewReader(req.MappingXML))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	name := req.Name
 	if name == "" {
 		name = "upsim"
 	}
-	return gen.WithCache(c).GenerateContext(ctx, svc, mp, name, core.Options{AllowDisconnected: req.AllowDisconnected})
+	opts := core.Options{AllowDisconnected: req.AllowDisconnected}
+	key, err := gen.CacheKey(svc, mp, name, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := gen.WithCache(c).GenerateContext(ctx, svc, mp, name, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return res, key, nil
 }
 
 // linkJSON is one UPSIM link.
@@ -326,7 +337,7 @@ func (a *api) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context(), a.cache)
+	res, _, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -379,6 +390,11 @@ type availabilityRequest struct {
 	MCSamples int `json:"mcSamples,omitempty"`
 	// Seed sets the Monte-Carlo seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// LegacyKernel routes the analysis through the map-based implementation
+	// instead of the compiled bitset kernel (the ablation escape hatch). The
+	// numbers are bit-identical either way; the flag participates in the
+	// analysis cache key so the two variants never share an entry.
+	LegacyKernel bool `json:"legacyKernel,omitempty"`
 }
 
 // availabilityResponse returns the analysis report.
@@ -414,12 +430,12 @@ func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := analyzeQoS(res, req.MaxHops)
+	resp, err := analyzeQoS(r.Context(), a.cache, genKey, res, req.MaxHops)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -428,27 +444,45 @@ func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 }
 
 // analyzeQoS runs the performability + responsiveness analysis on a (possibly
-// cached) Result; shared by the single qos route and the batch fan-out.
-func analyzeQoS(res *core.Result, maxHops int) (qosResponse, error) {
-	tp, err := depend.Throughput(res)
-	if err != nil {
-		return qosResponse{}, err
-	}
+// cached) Result, through the shared cache keyed on the generation content
+// hash plus the analysis knobs: a replayed request skips structure
+// extraction and kernel compilation, not just regeneration. Shared by the
+// single qos route and the batch fan-out; c == nil disables caching.
+func analyzeQoS(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, maxHops int) (qosResponse, error) {
 	if maxHops <= 0 {
 		maxHops = 8
 	}
-	rr, err := depend.Responsiveness(res, depend.ModelExact, maxHops)
+	compute := func() (any, error) {
+		tp, err := depend.Throughput(res)
+		if err != nil {
+			return qosResponse{}, err
+		}
+		rr, err := depend.Responsiveness(res, depend.ModelExact, maxHops)
+		if err != nil {
+			return qosResponse{}, err
+		}
+		return qosResponse{
+			ThroughputMbps:    tp.Service,
+			MaxHops:           rr.MaxHops,
+			Responsiveness:    rr.Responsiveness,
+			Availability:      rr.Availability,
+			PathsWithinBudget: rr.PathsWithinBudget,
+			PathsTotal:        rr.PathsTotal,
+		}, nil
+	}
+	if c == nil || genKey == "" {
+		v, err := compute()
+		if err != nil {
+			return qosResponse{}, err
+		}
+		return v.(qosResponse), nil
+	}
+	key := fmt.Sprintf("qos|%s|hops=%d", genKey, maxHops)
+	v, _, err := c.Do(ctx, key, compute)
 	if err != nil {
 		return qosResponse{}, err
 	}
-	return qosResponse{
-		ThroughputMbps:    tp.Service,
-		MaxHops:           rr.MaxHops,
-		Responsiveness:    rr.Responsiveness,
-		Availability:      rr.Availability,
-		PathsWithinBudget: rr.PathsWithinBudget,
-		PathsTotal:        rr.PathsTotal,
-	}, nil
+	return v.(qosResponse), nil
 }
 
 // lintRequest asks for a static-analysis report. Unlike the pipeline routes
@@ -529,12 +563,12 @@ func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := analyzeAvailability(r.Context(), res, req.Formula1, req.MCSamples, req.Seed)
+	resp, err := analyzeAvailability(r.Context(), a.cache, genKey, res, req.Formula1, req.MCSamples, req.Seed, req.LegacyKernel)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -543,8 +577,12 @@ func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 }
 
 // analyzeAvailability runs the Section VII analysis on a (possibly cached)
-// Result; shared by the single availability route and the batch fan-out.
-func analyzeAvailability(ctx context.Context, res *core.Result, formula1 bool, samples int, seed int64) (availabilityResponse, error) {
+// Result, through the shared cache keyed on the generation content hash plus
+// every analysis knob (including the legacy-kernel ablation flag): a
+// replayed request skips structure extraction and kernel compilation, not
+// just regeneration. Shared by the single availability route and the batch
+// fan-out; c == nil disables caching.
+func analyzeAvailability(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, formula1 bool, samples int, seed int64, legacy bool) (availabilityResponse, error) {
 	model := depend.ModelExact
 	if formula1 {
 		model = depend.ModelFormula1
@@ -555,17 +593,33 @@ func analyzeAvailability(ctx context.Context, res *core.Result, formula1 bool, s
 	if seed == 0 {
 		seed = 1
 	}
-	rep, err := depend.AnalyzeContext(ctx, res, model, samples, seed)
+	compute := func() (any, error) {
+		rep, err := depend.AnalyzeWithOptions(ctx, res, model, samples, seed,
+			depend.AnalyzeOptions{Legacy: legacy})
+		if err != nil {
+			return availabilityResponse{}, err
+		}
+		return availabilityResponse{
+			Exact:                rep.Exact,
+			RBDApprox:            rep.RBDApprox,
+			FTApprox:             rep.FTApprox,
+			MonteCarlo:           rep.MonteCarlo,
+			MCStdErr:             rep.MCStdErr,
+			DowntimePerYearHours: rep.DowntimePerYearHours,
+			Components:           rep.Components,
+		}, nil
+	}
+	if c == nil || genKey == "" {
+		v, err := compute()
+		if err != nil {
+			return availabilityResponse{}, err
+		}
+		return v.(availabilityResponse), nil
+	}
+	key := fmt.Sprintf("avail|%s|model=%s|mc=%d|seed=%d|legacy=%t", genKey, model, samples, seed, legacy)
+	v, _, err := c.Do(ctx, key, compute)
 	if err != nil {
 		return availabilityResponse{}, err
 	}
-	return availabilityResponse{
-		Exact:                rep.Exact,
-		RBDApprox:            rep.RBDApprox,
-		FTApprox:             rep.FTApprox,
-		MonteCarlo:           rep.MonteCarlo,
-		MCStdErr:             rep.MCStdErr,
-		DowntimePerYearHours: rep.DowntimePerYearHours,
-		Components:           rep.Components,
-	}, nil
+	return v.(availabilityResponse), nil
 }

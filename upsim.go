@@ -254,6 +254,11 @@ type TopologyClassParams = modelgen.ClassParams
 type (
 	// ServiceStructure is the availability structure function of a service.
 	ServiceStructure = depend.ServiceStructure
+	// CompiledStructure is the interned bitset form of a ServiceStructure:
+	// same analyses, bit-identical results, compiled once.
+	CompiledStructure = depend.CompiledStructure
+	// AnalyzeOptions selects the analysis kernel and Monte Carlo sampler.
+	AnalyzeOptions = depend.AnalyzeOptions
 	// Report is the end-to-end availability analysis of one UPSIM.
 	Report = depend.Report
 	// Block is an RBD node (Basic, Series, Parallel, KofN).
@@ -351,16 +356,35 @@ func Analyze(res *Result, model depend.AvailabilityModel, mcSamples int, seed in
 }
 
 // AnalyzeContext is Analyze with trace propagation: each analysis stage
-// (structure extraction, exact, RBD, fault tree, Monte Carlo) records a
-// child span on the ctx span.
+// (structure extraction, kernel compilation, exact, RBD, fault tree, Monte
+// Carlo) records a child span on the ctx span. Evaluation runs on the
+// compiled bitset kernel; use AnalyzeWithOptions to opt out.
 func AnalyzeContext(ctx context.Context, res *Result, model depend.AvailabilityModel, mcSamples int, seed int64) (*Report, error) {
 	return depend.AnalyzeContext(ctx, res, model, mcSamples, seed)
+}
+
+// AnalyzeWithOptions is AnalyzeContext with explicit kernel (legacy ablation
+// flag) and Monte Carlo worker selection.
+func AnalyzeWithOptions(ctx context.Context, res *Result, model depend.AvailabilityModel, mcSamples int, seed int64, opts AnalyzeOptions) (*Report, error) {
+	return depend.AnalyzeWithOptions(ctx, res, model, mcSamples, seed, opts)
 }
 
 // StructureOf extracts the service structure function and component
 // availability table from a generated UPSIM for custom analysis.
 func StructureOf(res *Result, model depend.AvailabilityModel) (*ServiceStructure, map[string]float64, error) {
+	st, _, avail, err := depend.FromResult(res, model)
+	return st, avail, err
+}
+
+// CompiledStructureOf is StructureOf returning the compiled bitset kernel
+// alongside the legacy structure.
+func CompiledStructureOf(res *Result, model depend.AvailabilityModel) (*ServiceStructure, *CompiledStructure, map[string]float64, error) {
 	return depend.FromResult(res, model)
+}
+
+// CompileStructure lowers a service structure into its interned bitset form.
+func CompileStructure(s *ServiceStructure) *CompiledStructure {
+	return depend.Compile(s)
 }
 
 // Availability returns MTBF/(MTBF+MTTR).
