@@ -12,15 +12,26 @@
 //	                 -mapping table1.xml -name upsim-t1-p2 [-dot out.dot] [-out model2.xml] [-trace]
 //	upsim avail      -model usi.xml -diagram infrastructure -service printing \
 //	                 -mapping table1.xml [-formula1] [-mc 200000] [-trace]
+//	upsim explain    -model usi.xml -diagram infrastructure -service printing \
+//	                 -mapping table1.xml [-top 5] [-formula1] [-legacy] [-cutlimit N] [-json] [-trace]
+//	upsim explain    -casestudy
 //	upsim dot        -model usi.xml -diagram infrastructure
 //	upsim lint       -model usi.xml -diagram infrastructure -service printing \
 //	                 -mapping table1.xml [-json]
 //	upsim lint       -casestudy
 //	upsim batch      -req requests.json [-workers 4] [-cache-size 128] [-out resp.json]
 //
-// The -trace flag on paths, generate and avail prints the pipeline span
-// tree (one span per methodology step, with wall times and attributes)
-// after the normal output.
+// The -trace flag on paths, generate, avail and explain prints the pipeline
+// span tree (one span per methodology step, with wall times and attributes)
+// after the normal output; for explain the tree includes the
+// explain.report/explain.paths/explain.attribution spans.
+//
+// The explain subcommand renders the provenance & attribution report: where
+// every availability number comes from — per-service path statistics, the
+// discovery tree rooted at the requester, the top minimal cut sets by
+// unavailability contribution, component Birnbaum / Fussell–Vesely
+// importance rankings and class-level sensitivities. The numbers are
+// bit-identical to POST /api/v1/explain for the same inputs.
 //
 // The lint subcommand runs every built-in static-analysis rule over the
 // model artifacts and exits non-zero when any error-severity finding exists,
@@ -30,9 +41,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"upsim"
 	"upsim/internal/topology"
@@ -79,6 +94,8 @@ func run(args []string) error {
 		return cmdGenerate(args[1:])
 	case "avail":
 		return cmdAvail(args[1:])
+	case "explain":
+		return cmdExplain(args[1:])
 	case "dot":
 		return cmdDot(args[1:])
 	case "lint":
@@ -108,6 +125,7 @@ commands:
   paths       enumerate all simple paths between two components
   generate    generate a UPSIM for a service, mapping and perspective
   avail       user-perceived availability analysis for a service mapping
+  explain     provenance & attribution report: paths, discovery trees, cut sets, importances
   dot         render an object diagram as Graphviz DOT
   lint        static-analysis of model, service and mapping (non-zero exit on errors)
   query       run a VTCL-style pattern against the imported model space
@@ -400,6 +418,154 @@ func cmdAvail(args []string) error {
 	fmt.Printf("downtime:     %.1f hours/year\n", rep.DowntimePerYearHours)
 	printTrace()
 	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name")
+	svcName := fs.String("service", "", "activity name of the composite service")
+	mappingPath := fs.String("mapping", "", "service mapping XML file")
+	caseStudy := fs.Bool("casestudy", false, "explain the built-in USI case study (printing service, Table I mapping)")
+	top := fs.Int("top", 5, "rows per ranking table (0 = all)")
+	formula1 := fs.Bool("formula1", false, "use the paper's Formula 1 instead of the exact component availability")
+	legacy := fs.Bool("legacy", false, "attribute through the legacy map-based kernel (numbers are identical)")
+	cutLimit := fs.Int("cutlimit", 0, "cut-set expansion budget (0 = default)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		m   *upsim.Model
+		svc *upsim.Composite
+		mp  *upsim.Mapping
+		err error
+	)
+	if *caseStudy {
+		if m, err = upsim.USIModel(); err != nil {
+			return err
+		}
+		if svc, err = upsim.USIPrintingService(m); err != nil {
+			return err
+		}
+		mp = upsim.USITableIMapping()
+		*diagram = upsim.USIDiagramName
+	} else {
+		if *modelPath == "" || *diagram == "" || *svcName == "" || *mappingPath == "" {
+			return fmt.Errorf("explain: -model, -diagram, -service and -mapping are required (or use -casestudy)")
+		}
+		if m, err = loadModel(*modelPath); err != nil {
+			return err
+		}
+		act, ok := m.Activity(*svcName)
+		if !ok {
+			return fmt.Errorf("explain: model has no activity %q", *svcName)
+		}
+		if svc, err = upsim.ServiceFromActivity(act); err != nil {
+			return err
+		}
+		if mp, err = loadMapping(*mappingPath); err != nil {
+			return err
+		}
+	}
+	ctx, printTrace := traceSpan(*trace, "upsim.explain")
+	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
+	if err != nil {
+		return err
+	}
+	res, err := gen.GenerateContext(ctx, svc, mp, "explain", upsim.Options{})
+	if err != nil {
+		return err
+	}
+	model := upsim.ModelExact
+	if *formula1 {
+		model = upsim.ModelFormula1
+	}
+	rep, err := upsim.Explain(ctx, res, upsim.ExplainOptions{
+		Legacy:   *legacy,
+		Model:    model,
+		TopN:     *top,
+		CutLimit: *cutLimit,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		printTrace()
+		return nil
+	}
+	renderExplain(os.Stdout, rep)
+	printTrace()
+	return nil
+}
+
+// renderExplain writes the human-readable provenance & attribution report:
+// per-service path statistics and discovery trees, then the ranked
+// attribution tables. The numbers come straight from the ExplainReport, so
+// they match POST /api/v1/explain for the same inputs.
+func renderExplain(w io.Writer, rep *upsim.ExplainReport) {
+	fmt.Fprintf(w, "explain %q (%s kernel, %s component model)\n", rep.Name, rep.Kernel, rep.Model)
+	fmt.Fprintf(w, "paths: %d total (%d direct, %d transitive), length %d..%d, mean %.2f\n",
+		rep.Stats.Count, rep.Stats.Direct, rep.Stats.Transitive,
+		rep.Stats.MinLength, rep.Stats.MaxLength, rep.Stats.MeanLength)
+	if rep.Truncated {
+		fmt.Fprintln(w, "WARNING: discovery truncated at MaxPaths; provenance is a lower bound")
+	}
+	for _, svc := range rep.Services {
+		fmt.Fprintf(w, "\nservice %q  %s -> %s\n", svc.AtomicService, svc.Requester, svc.Provider)
+		st := svc.Stats
+		fmt.Fprintf(w, "  paths=%d direct=%d transitive=%d depth=%d..%d mean=%.2f\n",
+			st.Count, st.Direct, st.Transitive, st.MinLength, st.MaxLength, st.MeanLength)
+		depths := make([]int, 0, len(st.DepthHistogram))
+		for d := range st.DepthHistogram {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		fmt.Fprint(w, "  depth histogram:")
+		for _, d := range depths {
+			fmt.Fprintf(w, " %d:%d", d, st.DepthHistogram[d])
+		}
+		fmt.Fprintln(w)
+		for _, p := range svc.Paths {
+			fmt.Fprintf(w, "  path %d (%s, %d hops, cost %.4f, bottleneck %.0f Mbps): %s\n",
+				p.Index, p.Type, p.Length, p.Cost, p.BottleneckMbps, strings.Join(p.Nodes, "—"))
+		}
+		if svc.Tree != nil {
+			fmt.Fprintln(w, "  discovery tree:")
+			for _, line := range strings.Split(strings.TrimRight(svc.Tree.Render(), "\n"), "\n") {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
+		}
+	}
+	attr := rep.Attribution
+	if attr == nil {
+		return
+	}
+	fmt.Fprintf(w, "\navailability %.10f (unavailability %.3e)\n", attr.Availability, attr.Unavailability)
+	fmt.Fprintf(w, "\ntop %d of %d minimal cut sets by unavailability contribution:\n",
+		len(attr.CutSets), attr.CutSetsTotal)
+	for i, cs := range attr.CutSets {
+		fmt.Fprintf(w, "  %2d. %6.2f%%  %.3e  {%s}\n",
+			i+1, cs.Share*100, cs.Unavailability, strings.Join(cs.Components, ", "))
+	}
+	fmt.Fprintf(w, "\ntop %d of %d components by Birnbaum importance:\n",
+		len(attr.Components), attr.ComponentsTotal)
+	fmt.Fprintf(w, "  %-28s %-12s %-14s %-12s %s\n", "component", "class", "availability", "birnbaum", "fussell-vesely")
+	for _, ci := range attr.Components {
+		fmt.Fprintf(w, "  %-28s %-12s %.10f   %.4e  %.4e\n",
+			ci.Component, ci.Class, ci.Availability, ci.Birnbaum, ci.FussellVesely)
+	}
+	fmt.Fprintln(w, "\nclass sensitivities (per instance-hour):")
+	for _, cr := range attr.Classes {
+		fmt.Fprintf(w, "  %-12s instances=%-3d dA/dMTBF=%.4e  dA/dMTTR=%.4e\n",
+			cr.Class, cr.Instances, cr.DAvailDMTBF, cr.DAvailDMTTR)
+	}
 }
 
 func cmdLint(args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -231,6 +232,82 @@ func TestCLITrace(t *testing.T) {
 	}
 	if strings.Contains(out, "step5.import_uml") {
 		t.Errorf("trace printed without -trace:\n%s", out)
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	modelPath, mappingPath := withArtifacts(t)
+
+	out, err := capture(t, func() error {
+		return run([]string{"explain", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-top", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"compiled kernel",
+		"paths: 10 total (0 direct, 10 transitive), length 5..6, mean 5.50",
+		`service "Request printing"  t1 -> printS`,
+		"depth histogram: 5:1 6:1",
+		"t1—e1—d1—c1—d4—printS",
+		"discovery tree:",
+		"t1:Comp  paths=2",
+		"terminal=1",
+		"top 3 of 20 minimal cut sets",
+		"top 3 of 20 components by Birnbaum importance",
+		"class sensitivities",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -legacy renders the identical report apart from the kernel tag.
+	legacy, err := capture(t, func() error {
+		return run([]string{"explain", "-model", modelPath, "-diagram", "infrastructure",
+			"-service", "printing", "-mapping", mappingPath, "-top", "3", "-legacy"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Replace(legacy, "legacy kernel", "compiled kernel", 1) != out {
+		t.Error("legacy explain output differs from compiled beyond the kernel tag")
+	}
+
+	// -casestudy needs no files; -json emits the machine-readable report.
+	jsonOut, err := capture(t, func() error {
+		return run([]string{"explain", "-casestudy", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep upsim.ExplainReport
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("explain -json does not parse: %v", err)
+	}
+	if rep.Stats.Count != 10 || rep.Attribution == nil || len(rep.Services) != 5 {
+		t.Errorf("explain -json report incomplete: stats=%+v services=%d", rep.Stats, len(rep.Services))
+	}
+
+	// -trace surfaces the explain spans alongside the pipeline spans, and
+	// the depth statistics printed above come from the same Statistics the
+	// server responses embed.
+	out, err = capture(t, func() error {
+		return run([]string{"explain", "-casestudy", "-trace"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{
+		"upsim.explain", "step7.pathdisc", "explain.report", "explain.paths", "explain.attribution",
+	} {
+		if !strings.Contains(out, span) {
+			t.Errorf("explain -trace missing span %q:\n%s", span, out)
+		}
+	}
+	if !strings.Contains(out, "depth=5..6 mean=5.50") {
+		t.Errorf("explain -trace missing depth stats:\n%s", out)
 	}
 }
 

@@ -299,7 +299,7 @@ func (cs *CompiledStructure) servicePathBits(limit int) ([]bitset, *bitArena, er
 	for _, a := range cs.atomics {
 		raw *= len(a.sets)
 		if raw > limit {
-			return nil, nil, fmt.Errorf("depend: service path-set expansion needs %d unions, limit %d", raw, limit)
+			return nil, nil, &BudgetError{Kind: BudgetServicePathSets, Need: raw, Limit: limit}
 		}
 	}
 	ar := cs.getArena()
@@ -346,6 +346,9 @@ func (cs *CompiledStructure) minimalCutBits(limit int) ([]bitset, *bitArena, err
 		cuts, err := transversalsBits(a.sets, cs.words, limit, ar)
 		if err != nil {
 			cs.putArena(ar)
+			if be, ok := AsBudgetError(err); ok {
+				return nil, nil, be.forAtomic(a.name)
+			}
 			return nil, nil, fmt.Errorf("depend: atomic service %q: %w", a.name, err)
 		}
 		all = append(all, cuts...)
@@ -376,7 +379,7 @@ func transversalsBits(sets []bitset, words, limit int, ar *bitArena) ([]bitset, 
 				}
 			}
 			if len(next) > limit {
-				return nil, fmt.Errorf("transversal expansion exceeds limit %d", limit)
+				return nil, &BudgetError{Kind: BudgetTransversal, Limit: limit}
 			}
 		}
 		cur = minimalizeBits(next)

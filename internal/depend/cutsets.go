@@ -30,7 +30,7 @@ func (s *ServiceStructure) ServicePathSets(limit int) ([]PathSet, error) {
 	for _, a := range s.AtomicServices {
 		raw *= len(a.PathSets)
 		if raw > limit {
-			return nil, fmt.Errorf("depend: service path-set expansion needs %d unions, limit %d", raw, limit)
+			return nil, &BudgetError{Kind: BudgetServicePathSets, Need: raw, Limit: limit}
 		}
 	}
 	// Cross product of one path set per atomic service, as sorted component
@@ -79,6 +79,9 @@ func (s *ServiceStructure) MinimalCutSets(limit int) ([]PathSet, error) {
 	for _, a := range s.AtomicServices {
 		cuts, err := transversals(a.PathSets, limit)
 		if err != nil {
+			if be, ok := AsBudgetError(err); ok {
+				return nil, be.forAtomic(a.Name)
+			}
 			return nil, fmt.Errorf("depend: atomic service %q: %w", a.Name, err)
 		}
 		all = append(all, cuts...)
@@ -105,7 +108,7 @@ func transversals(sets []PathSet, limit int) ([]PathSet, error) {
 				next = append(next, insertSorted(t, c))
 			}
 			if len(next) > limit {
-				return nil, fmt.Errorf("transversal expansion exceeds limit %d", limit)
+				return nil, &BudgetError{Kind: BudgetTransversal, Limit: limit}
 			}
 		}
 		cur = Minimalize(next)

@@ -115,6 +115,13 @@ func Sensitivity(res *core.Result) (*SensitivityReport, error) {
 	return rep, nil
 }
 
+// ParseLinkComponentID recognises the LinkComponentID format "a--b#<edge>"
+// and returns the source-diagram edge index. ok is false for device
+// components (plain instance names).
+func ParseLinkComponentID(comp string) (edgeID int, ok bool) {
+	return parseLinkComponent(comp)
+}
+
 // parseLinkComponent recognises the LinkComponentID format "a--b#<edge>".
 func parseLinkComponent(comp string) (edgeID int, ok bool) {
 	hash := -1

@@ -1,0 +1,281 @@
+package explain
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"upsim/internal/casestudy"
+	"upsim/internal/core"
+	"upsim/internal/depend"
+)
+
+// usiResult generates the USI printing-service UPSIM (Table I mapping,
+// t1 → p2 → printS) — the acceptance fixture of the whole subsystem.
+func usiResult(t *testing.T) *core.Result {
+	t.Helper()
+	m, err := casestudy.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := casestudy.PrintingService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := core.NewGenerator(m, casestudy.DiagramName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Generate(svc, casestudy.TableIMapping(), "usi-explain", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExplainKernelParity is the acceptance gate: the full report —
+// per-path statistics, discovery trees, cut-set ranking, Birnbaum and
+// Fussell–Vesely importances, class sensitivities — must be identical under
+// the compiled and legacy dependability kernels.
+func TestExplainKernelParity(t *testing.T) {
+	res := usiResult(t)
+	compiled, err := Explain(context.Background(), res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Explain(context.Background(), res, Options{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Kernel != "compiled" || legacy.Kernel != "legacy" {
+		t.Fatalf("kernels = %q, %q", compiled.Kernel, legacy.Kernel)
+	}
+	compiled.Kernel, legacy.Kernel = "", ""
+	if !reflect.DeepEqual(compiled, legacy) {
+		t.Fatalf("compiled and legacy explain reports differ:\ncompiled: %+v\nlegacy:   %+v", compiled, legacy)
+	}
+}
+
+func TestExplainUSIReport(t *testing.T) {
+	res := usiResult(t)
+	rep, err := Explain(context.Background(), res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "usi-explain" {
+		t.Errorf("name = %q", rep.Name)
+	}
+	if len(rep.Services) != len(casestudy.PrintingAtomicServices) {
+		t.Fatalf("services = %d, want %d", len(rep.Services), len(casestudy.PrintingAtomicServices))
+	}
+	if rep.Stats.Count != res.TotalPaths {
+		t.Errorf("aggregate count = %d, want %d", rep.Stats.Count, res.TotalPaths)
+	}
+	if rep.Truncated {
+		t.Error("unbounded USI discovery reported truncated")
+	}
+
+	for i, svc := range rep.Services {
+		sp := res.Services[i]
+		if svc.AtomicService != sp.AtomicService {
+			t.Fatalf("service %d = %q, want %q", i, svc.AtomicService, sp.AtomicService)
+		}
+		if len(svc.Paths) != len(sp.Paths) || svc.Stats.Count != len(sp.Paths) {
+			t.Errorf("service %q: %d records, stats count %d, want %d",
+				svc.AtomicService, len(svc.Paths), svc.Stats.Count, len(sp.Paths))
+		}
+		// Per-path records mirror the discovered paths.
+		for j, rec := range svc.Paths {
+			p := sp.Paths[j]
+			if rec.Index != j || !reflect.DeepEqual(rec.Nodes, p.Nodes) || rec.Length != p.Len() {
+				t.Errorf("service %q path %d record mismatch: %+v vs %v", svc.AtomicService, j, rec, p)
+			}
+			wantType := PathTransitive
+			if p.Len() <= 1 {
+				wantType = PathDirect
+			}
+			if rec.Type != wantType {
+				t.Errorf("path %s type = %q, want %q", p, rec.Type, wantType)
+			}
+			nodeCount := 0
+			for _, n := range rec.Classes {
+				nodeCount += n
+			}
+			if nodeCount != len(p.Nodes) {
+				t.Errorf("path %s class counts sum to %d, want %d", p, nodeCount, len(p.Nodes))
+			}
+			// Every USI link carries throughput and channel, so the cost is
+			// a sum of positive reciprocals and a bottleneck exists.
+			if rec.Cost <= 0 || rec.Cost >= float64(p.Len()) {
+				t.Errorf("path %s cost = %v (want within (0, hops))", p, rec.Cost)
+			}
+			if rec.BottleneckMbps <= 0 {
+				t.Errorf("path %s has no bottleneck throughput", p)
+			}
+			if len(rec.Channels) != 1 || rec.Channels[0] != casestudy.LinkChannel {
+				t.Errorf("path %s channels = %v", p, rec.Channels)
+			}
+		}
+		// The discovery tree accounts for every path.
+		if svc.Tree == nil || svc.Tree.Name != sp.Requester {
+			t.Fatalf("service %q tree root = %+v, want %q", svc.AtomicService, svc.Tree, sp.Requester)
+		}
+		if svc.Tree.PathCount != len(sp.Paths) {
+			t.Errorf("service %q tree path count = %d, want %d", svc.AtomicService, svc.Tree.PathCount, len(sp.Paths))
+		}
+		if svc.Tree.Depth() != svc.Stats.MaxLength+1 {
+			t.Errorf("service %q tree depth = %d, want max length %d + 1",
+				svc.AtomicService, svc.Tree.Depth(), svc.Stats.MaxLength)
+		}
+	}
+
+	attr := rep.Attribution
+	if attr == nil {
+		t.Fatal("no attribution")
+	}
+	// The availability matches the analysis pipeline's exact number.
+	want, err := depend.Analyze(res, depend.ModelExact, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Availability != want.Exact {
+		t.Errorf("attribution availability = %v, want exact %v", attr.Availability, want.Exact)
+	}
+	if attr.CutSetsTotal == 0 || len(attr.CutSets) != attr.CutSetsTotal {
+		t.Fatalf("cut sets = %d of %d", len(attr.CutSets), attr.CutSetsTotal)
+	}
+	// Shares sum to 1 and the ranking is by contribution.
+	sum := 0.0
+	for i, cs := range attr.CutSets {
+		sum += cs.Share
+		if i > 0 && cs.Unavailability > attr.CutSets[i-1].Unavailability {
+			t.Errorf("cut sets not sorted by unavailability at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("cut-set shares sum to %v", sum)
+	}
+	if attr.ComponentsTotal != want.Components || len(attr.Components) != want.Components {
+		t.Errorf("components = %d of %d, want %d", len(attr.Components), attr.ComponentsTotal, want.Components)
+	}
+	for i, ci := range attr.Components {
+		if ci.Class == "" {
+			t.Errorf("component %q has no class", ci.Component)
+		}
+		if ci.Birnbaum < 0 || ci.FussellVesely < -1e-12 || ci.FussellVesely > 1+1e-12 {
+			t.Errorf("component %q importance out of range: %+v", ci.Component, ci)
+		}
+		if i > 0 && ci.Birnbaum > attr.Components[i-1].Birnbaum {
+			t.Errorf("components not sorted by Birnbaum at %d", i)
+		}
+	}
+	if len(attr.Classes) == 0 {
+		t.Error("no class sensitivities")
+	}
+}
+
+func TestExplainTopN(t *testing.T) {
+	res := usiResult(t)
+	full, err := Explain(context.Background(), res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := Explain(context.Background(), res, Options{TopN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Attribution.CutSets) != 3 || len(top.Attribution.Components) != 3 {
+		t.Fatalf("topN kept %d cuts, %d components", len(top.Attribution.CutSets), len(top.Attribution.Components))
+	}
+	if top.Attribution.CutSetsTotal != full.Attribution.CutSetsTotal ||
+		top.Attribution.ComponentsTotal != full.Attribution.ComponentsTotal {
+		t.Error("topN changed the pre-truncation totals")
+	}
+	if !reflect.DeepEqual(top.Attribution.CutSets, full.Attribution.CutSets[:3]) {
+		t.Error("topN cut sets are not the leading full ranking")
+	}
+}
+
+func TestExplainSkipAttribution(t *testing.T) {
+	res := usiResult(t)
+	rep, err := Explain(context.Background(), res, Options{SkipAttribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attribution != nil {
+		t.Fatal("SkipAttribution still attributed")
+	}
+	if rep.Stats.Count != res.TotalPaths {
+		t.Errorf("stats count = %d", rep.Stats.Count)
+	}
+}
+
+// TestExplainBudgetError pins the structured budget error surfaced through
+// explain: a tiny cut-set limit names the offending atomic service.
+func TestExplainBudgetError(t *testing.T) {
+	res := usiResult(t)
+	_, err := Explain(context.Background(), res, Options{CutLimit: 1})
+	be, ok := depend.AsBudgetError(err)
+	if !ok {
+		t.Fatalf("err = %v, want BudgetError", err)
+	}
+	if be.Kind != depend.BudgetTransversal || be.AtomicService == "" || be.Limit != 1 {
+		t.Fatalf("budget error = %+v", be)
+	}
+	if !strings.Contains(err.Error(), "transversal expansion exceeds limit 1") {
+		t.Fatalf("budget error message changed: %v", err)
+	}
+	// Legacy kernel reports the identical error.
+	_, lerr := Explain(context.Background(), res, Options{CutLimit: 1, Legacy: true})
+	if lerr == nil || lerr.Error() != err.Error() {
+		t.Fatalf("legacy budget error %q != compiled %q", lerr, err)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	res := usiResult(t)
+	for _, sp := range res.Services {
+		st := Statistics(sp.Paths)
+		if st.Count != len(sp.Paths) || st.Direct+st.Transitive != st.Count {
+			t.Fatalf("stats %+v inconsistent for %d paths", st, len(sp.Paths))
+		}
+		total := 0
+		for depth, n := range st.DepthHistogram {
+			if depth < st.MinLength || depth > st.MaxLength {
+				t.Errorf("histogram depth %d outside [%d, %d]", depth, st.MinLength, st.MaxLength)
+			}
+			total += n
+		}
+		if total != st.Count {
+			t.Errorf("histogram sums to %d, want %d", total, st.Count)
+		}
+		if st.MeanLength < float64(st.MinLength) || st.MeanLength > float64(st.MaxLength) {
+			t.Errorf("mean %v outside [%d, %d]", st.MeanLength, st.MinLength, st.MaxLength)
+		}
+	}
+	empty := Statistics(nil)
+	if empty.Count != 0 || empty.DepthHistogram != nil {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestTreeRender(t *testing.T) {
+	res := usiResult(t)
+	rep, err := Explain(context.Background(), res, Options{SkipAttribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rep.Services[0].Tree
+	text := tree.Render()
+	if !strings.HasPrefix(text, res.Services[0].Requester+":") {
+		t.Errorf("render does not start at requester:\n%s", text)
+	}
+	if !strings.Contains(text, "terminal=") {
+		t.Errorf("render has no terminal marker:\n%s", text)
+	}
+	if got := strings.Count(text, "\n"); got != tree.Nodes() {
+		t.Errorf("render has %d lines, want %d nodes", got, tree.Nodes())
+	}
+}

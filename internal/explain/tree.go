@@ -1,0 +1,119 @@
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"upsim/internal/core"
+)
+
+// TreeNode is one node of a discovery tree: the prefix-merged view of every
+// path an atomic service discovered, rooted at the requester. Two paths
+// sharing a hop prefix share the corresponding tree nodes, so the tree shows
+// where the user's traffic fans out across redundant infrastructure.
+type TreeNode struct {
+	// Name is the component instance name.
+	Name string `json:"name"`
+	// Class is the component's class name.
+	Class string `json:"class,omitempty"`
+	// PathCount counts the discovered paths passing through this node.
+	PathCount int `json:"pathCount"`
+	// Terminal counts the paths ending here (at the provider).
+	Terminal int `json:"terminal,omitempty"`
+	// Children are the next hops in first-discovered order.
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// BuildTree merges one atomic service's discovered paths into a discovery
+// tree rooted at the requester. Children keep the deterministic enumeration
+// order both path-discovery kernels share.
+func BuildTree(res *core.Result, sp core.ServicePaths) (*TreeNode, error) {
+	root := &TreeNode{Name: sp.Requester}
+	if n, ok := res.Graph.Node(sp.Requester); ok {
+		root.Class = n.Class
+	}
+	for _, p := range sp.Paths {
+		if len(p.Nodes) == 0 || p.Nodes[0] != sp.Requester {
+			return nil, fmt.Errorf("explain: path of %q does not start at requester %q",
+				sp.AtomicService, sp.Requester)
+		}
+		root.PathCount++
+		cur := root
+		for _, hop := range p.Nodes[1:] {
+			child := cur.child(hop)
+			if child == nil {
+				child = &TreeNode{Name: hop}
+				if n, ok := res.Graph.Node(hop); ok {
+					child.Class = n.Class
+				}
+				cur.Children = append(cur.Children, child)
+			}
+			child.PathCount++
+			cur = child
+		}
+		cur.Terminal++
+	}
+	return root, nil
+}
+
+// child returns the direct child with the given name, or nil.
+func (t *TreeNode) child(name string) *TreeNode {
+	for _, c := range t.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Depth returns the number of node levels of the tree (1 for a lone root).
+func (t *TreeNode) Depth() int {
+	max := 0
+	for _, c := range t.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Nodes counts the tree nodes, root included.
+func (t *TreeNode) Nodes() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Nodes()
+	}
+	return n
+}
+
+// Render returns the tree as an indented text diagram, in the style of the
+// -trace span tree:
+//
+//	t1:Comp  paths=2
+//	└─ e1:HP2524  paths=2
+//	   ├─ C6509:C6509  paths=1
+//	   ...
+func (t *TreeNode) Render() string {
+	var b strings.Builder
+	var walk func(n *TreeNode, prefix, childPrefix string)
+	walk = func(n *TreeNode, prefix, childPrefix string) {
+		label := n.Name
+		if n.Class != "" {
+			label += ":" + n.Class
+		}
+		fmt.Fprintf(&b, "%s%s  paths=%d", prefix, label, n.PathCount)
+		if n.Terminal > 0 {
+			fmt.Fprintf(&b, " terminal=%d", n.Terminal)
+		}
+		b.WriteByte('\n')
+		for i, c := range n.Children {
+			connector, extend := "├─ ", "│  "
+			if i == len(n.Children)-1 {
+				connector, extend = "└─ ", "   "
+			}
+			walk(c, childPrefix+connector, childPrefix+extend)
+		}
+	}
+	walk(t, "", "")
+	return b.String()
+}

@@ -159,14 +159,14 @@ func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) Bat
 			out.Error = err.Error()
 			return out
 		}
-		out.Result = resp
+		out.Result = resp.value
 	case OpQoS:
 		resp, err := analyzeQoS(ctx, c, genKey, res, it.MaxHops)
 		if err != nil {
 			out.Error = err.Error()
 			return out
 		}
-		out.Result = resp
+		out.Result = resp.value
 	}
 	return out
 }

@@ -17,6 +17,9 @@
 //	POST /api/v1/generate              generate a UPSIM
 //	POST /api/v1/availability          generate + Section VII analysis
 //	POST /api/v1/qos                   performability + responsiveness
+//	POST /api/v1/explain               provenance & attribution report (mode
+//	                                   "validate" checks a generation against a
+//	                                   current topology instead)
 //	POST /api/v1/lint                  static-analysis report for model, service and mapping
 //	POST /api/v1/batch                 many generate/availability/qos items, fanned
 //	                                   out across a worker pool through the shared cache
@@ -48,6 +51,7 @@ import (
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
+	"upsim/internal/explain"
 	"upsim/internal/lint"
 	"upsim/internal/mapping"
 	"upsim/internal/obs"
@@ -104,6 +108,7 @@ func NewWithConfig(cfg Config) http.Handler {
 	handle("POST /api/v1/generate", "/api/v1/generate", a.handleGenerate)
 	handle("POST /api/v1/availability", "/api/v1/availability", a.handleAvailability)
 	handle("POST /api/v1/qos", "/api/v1/qos", a.handleQoS)
+	handle("POST /api/v1/explain", "/api/v1/explain", a.handleExplain)
 	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
 	handle("POST /api/v1/batch", "/api/v1/batch", a.handleBatch)
 	mux.Handle("GET /metrics", obs.Handler())
@@ -124,6 +129,70 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// mResponseEncodes counts JSON encodings performed by the cached analysis
+// routes. Warm cache hits replay memoised bytes, so under a steady repeated
+// load this counter stays flat while the route's request counter climbs.
+var mResponseEncodes = obs.NewCounter("upsim_server_response_encodes_total",
+	"JSON response encodings by route (cache hits reuse memoised bytes)", "route")
+
+// encodedResponse pairs an analysis response value with its JSON encoding,
+// produced once inside the cache's compute function. Cache hits write the
+// memoised bytes directly and skip re-marshalling; the decoded value stays
+// available for in-process consumers (the batch fan-out embeds it in its own
+// reply, which is encoded as a whole).
+type encodedResponse struct {
+	value any
+	body  []byte
+}
+
+// encodeResponse marshals v exactly as writeJSON would — json.Marshal plus
+// the trailing newline json.Encoder appends — so the raw-bytes path is
+// byte-identical to the encode-per-request path it replaces.
+func encodeResponse(route string, v any) (*encodedResponse, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	mResponseEncodes.With(route).Inc()
+	return &encodedResponse{value: v, body: append(b, '\n')}, nil
+}
+
+// writeRawJSON writes a pre-encoded JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// budgetErrorResponse is the structured 422 body for analysis-budget
+// exhaustion: which budget overflowed, on which atomic service, and by how
+// much — enough for a client to raise the limit or shrink the model instead
+// of parsing an error string.
+type budgetErrorResponse struct {
+	errorResponse
+	Kind          string `json:"kind"`
+	AtomicService string `json:"atomicService,omitempty"`
+	Need          int    `json:"need,omitempty"`
+	Limit         int    `json:"limit"`
+}
+
+// writeAnalysisError renders an analysis failure: budget exhaustion becomes
+// the structured 422, anything else the uniform error body at the same
+// status.
+func writeAnalysisError(w http.ResponseWriter, err error) {
+	if be, ok := depend.AsBudgetError(err); ok {
+		writeJSON(w, http.StatusUnprocessableEntity, budgetErrorResponse{
+			errorResponse: errorResponse{Error: be.Error()},
+			Kind:          string(be.Kind),
+			AtomicService: be.AtomicService,
+			Need:          be.Need,
+			Limit:         be.Limit,
+		})
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "%v", err)
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -214,6 +283,9 @@ type pathsResponse struct {
 	MaxStack     int      `json:"maxStack"`
 	Pruned       int      `json:"pruned"`
 	Truncated    bool     `json:"truncated"`
+	// PathStats aggregates the enumeration: length spread and the
+	// direct/transitive split plus the depth histogram (internal/explain).
+	PathStats explain.PathStatistics `json:"pathStats"`
 }
 
 func handlePaths(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +313,7 @@ func handlePaths(w http.ResponseWriter, r *http.Request) {
 		MaxStack:     stats.MaxStack,
 		Pruned:       stats.Pruned,
 		Truncated:    stats.Truncated,
+		PathStats:    explain.Statistics(paths),
 	}
 	for _, p := range paths {
 		resp.Paths = append(resp.Paths, p.String())
@@ -319,6 +392,8 @@ type serviceStatsJSON struct {
 	MaxStack      int    `json:"maxStack"`
 	Pruned        int    `json:"pruned"`
 	Truncated     bool   `json:"truncated"`
+	// PathStats summarises this service's discovered paths.
+	PathStats explain.PathStatistics `json:"pathStats"`
 }
 
 // generateResponse returns the UPSIM plus the per-service discovery stats.
@@ -330,6 +405,11 @@ type generateResponse struct {
 	TotalPaths int                 `json:"totalPaths"`
 	EdgeVisits int                 `json:"edgeVisits"`
 	Services   []serviceStatsJSON  `json:"serviceStats"`
+	// PathStats aggregates all services' discovered paths.
+	PathStats explain.PathStatistics `json:"pathStats"`
+	// Truncated is true when any atomic service hit its MaxPaths budget, so
+	// the UPSIM (and every analysis derived from it) is a lower bound.
+	Truncated bool `json:"truncated"`
 }
 
 func (a *api) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -359,6 +439,7 @@ func buildGenerateResponse(res *core.Result) generateResponse {
 		a, b := l.Ends()
 		resp.Links = append(resp.Links, linkJSON{A: a.Name(), B: b.Name(), Association: l.Association().Name()})
 	}
+	var all []pathdisc.Path
 	for _, sp := range res.Services {
 		var ps []string
 		for _, p := range sp.Paths {
@@ -375,8 +456,12 @@ func buildGenerateResponse(res *core.Result) generateResponse {
 			MaxStack:      sp.Stats.MaxStack,
 			Pruned:        sp.Stats.Pruned,
 			Truncated:     sp.Stats.Truncated,
+			PathStats:     explain.Statistics(sp.Paths),
 		})
+		all = append(all, sp.Paths...)
+		resp.Truncated = resp.Truncated || sp.Stats.Truncated
 	}
+	resp.PathStats = explain.Statistics(all)
 	return resp
 }
 
@@ -437,52 +522,53 @@ func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := analyzeQoS(r.Context(), a.cache, genKey, res, req.MaxHops)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeAnalysisError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeRawJSON(w, http.StatusOK, resp.body)
 }
 
 // analyzeQoS runs the performability + responsiveness analysis on a (possibly
 // cached) Result, through the shared cache keyed on the generation content
 // hash plus the analysis knobs: a replayed request skips structure
-// extraction and kernel compilation, not just regeneration. Shared by the
-// single qos route and the batch fan-out; c == nil disables caching.
-func analyzeQoS(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, maxHops int) (qosResponse, error) {
+// extraction, kernel compilation AND response encoding — the cache holds the
+// marshalled bytes, so a warm hit writes them straight to the wire. Shared by
+// the single qos route and the batch fan-out; c == nil disables caching.
+func analyzeQoS(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, maxHops int) (*encodedResponse, error) {
 	if maxHops <= 0 {
 		maxHops = 8
 	}
 	compute := func() (any, error) {
 		tp, err := depend.Throughput(res)
 		if err != nil {
-			return qosResponse{}, err
+			return nil, err
 		}
 		rr, err := depend.Responsiveness(res, depend.ModelExact, maxHops)
 		if err != nil {
-			return qosResponse{}, err
+			return nil, err
 		}
-		return qosResponse{
+		return encodeResponse("/api/v1/qos", qosResponse{
 			ThroughputMbps:    tp.Service,
 			MaxHops:           rr.MaxHops,
 			Responsiveness:    rr.Responsiveness,
 			Availability:      rr.Availability,
 			PathsWithinBudget: rr.PathsWithinBudget,
 			PathsTotal:        rr.PathsTotal,
-		}, nil
+		})
 	}
 	if c == nil || genKey == "" {
 		v, err := compute()
 		if err != nil {
-			return qosResponse{}, err
+			return nil, err
 		}
-		return v.(qosResponse), nil
+		return v.(*encodedResponse), nil
 	}
 	key := fmt.Sprintf("qos|%s|hops=%d", genKey, maxHops)
 	v, _, err := c.Do(ctx, key, compute)
 	if err != nil {
-		return qosResponse{}, err
+		return nil, err
 	}
-	return v.(qosResponse), nil
+	return v.(*encodedResponse), nil
 }
 
 // lintRequest asks for a static-analysis report. Unlike the pipeline routes
@@ -570,19 +656,20 @@ func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := analyzeAvailability(r.Context(), a.cache, genKey, res, req.Formula1, req.MCSamples, req.Seed, req.LegacyKernel)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeAnalysisError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeRawJSON(w, http.StatusOK, resp.body)
 }
 
 // analyzeAvailability runs the Section VII analysis on a (possibly cached)
 // Result, through the shared cache keyed on the generation content hash plus
 // every analysis knob (including the legacy-kernel ablation flag): a
-// replayed request skips structure extraction and kernel compilation, not
-// just regeneration. Shared by the single availability route and the batch
-// fan-out; c == nil disables caching.
-func analyzeAvailability(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, formula1 bool, samples int, seed int64, legacy bool) (availabilityResponse, error) {
+// replayed request skips structure extraction, kernel compilation AND
+// response encoding — the cache holds the marshalled bytes, so a warm hit
+// writes them straight to the wire. Shared by the single availability route
+// and the batch fan-out; c == nil disables caching.
+func analyzeAvailability(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, formula1 bool, samples int, seed int64, legacy bool) (*encodedResponse, error) {
 	model := depend.ModelExact
 	if formula1 {
 		model = depend.ModelFormula1
@@ -597,9 +684,9 @@ func analyzeAvailability(ctx context.Context, c *cache.Cache, genKey string, res
 		rep, err := depend.AnalyzeWithOptions(ctx, res, model, samples, seed,
 			depend.AnalyzeOptions{Legacy: legacy})
 		if err != nil {
-			return availabilityResponse{}, err
+			return nil, err
 		}
-		return availabilityResponse{
+		return encodeResponse("/api/v1/availability", availabilityResponse{
 			Exact:                rep.Exact,
 			RBDApprox:            rep.RBDApprox,
 			FTApprox:             rep.FTApprox,
@@ -607,19 +694,117 @@ func analyzeAvailability(ctx context.Context, c *cache.Cache, genKey string, res
 			MCStdErr:             rep.MCStdErr,
 			DowntimePerYearHours: rep.DowntimePerYearHours,
 			Components:           rep.Components,
-		}, nil
+		})
 	}
 	if c == nil || genKey == "" {
 		v, err := compute()
 		if err != nil {
-			return availabilityResponse{}, err
+			return nil, err
 		}
-		return v.(availabilityResponse), nil
+		return v.(*encodedResponse), nil
 	}
 	key := fmt.Sprintf("avail|%s|model=%s|mc=%d|seed=%d|legacy=%t", genKey, model, samples, seed, legacy)
 	v, _, err := c.Do(ctx, key, compute)
 	if err != nil {
-		return availabilityResponse{}, err
+		return nil, err
 	}
-	return v.(availabilityResponse), nil
+	return v.(*encodedResponse), nil
+}
+
+// Explain modes.
+const (
+	// ExplainModeReport (the default) returns the full provenance &
+	// attribution report.
+	ExplainModeReport = "report"
+	// ExplainModeValidate checks the generation against a current topology
+	// and returns the freshness verdict instead.
+	ExplainModeValidate = "validate"
+)
+
+// explainRequest asks for the provenance & attribution report of a
+// generation, or — mode "validate" — for its freshness against a current
+// topology.
+type explainRequest struct {
+	generateRequest
+	// Mode selects the report (default) or the validation check.
+	Mode string `json:"mode,omitempty"`
+	// Top truncates the cut-set and component rankings to the N largest
+	// contributors (0 keeps everything; the totals always reflect the full
+	// rankings).
+	Top int `json:"top,omitempty"`
+	// CutLimit overrides the cut-set expansion budget (0 keeps the default).
+	CutLimit int `json:"cutLimit,omitempty"`
+	// Formula1 selects the paper's approximation for component availability.
+	Formula1 bool `json:"formula1,omitempty"`
+	// LegacyKernel attributes through the map-based dependability
+	// implementation; the report is bit-identical to the compiled kernel's.
+	LegacyKernel bool `json:"legacyKernel,omitempty"`
+	// SkipAttribution returns path provenance only (no cut sets or
+	// importance measures).
+	SkipAttribution bool `json:"skipAttribution,omitempty"`
+	// CurrentModelXML is the current topology for mode "validate" (defaults
+	// to the request model, which validates trivially fresh).
+	CurrentModelXML string `json:"currentModelXml,omitempty"`
+	// CurrentDiagram names the current topology diagram (defaults to the
+	// request diagram name).
+	CurrentDiagram string `json:"currentDiagram,omitempty"`
+}
+
+func (a *api) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, _, err := req.generate(r.Context(), a.cache)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch req.Mode {
+	case "", ExplainModeReport:
+		model := depend.ModelExact
+		if req.Formula1 {
+			model = depend.ModelFormula1
+		}
+		rep, err := explain.Explain(r.Context(), res, explain.Options{
+			Legacy:          req.LegacyKernel,
+			Model:           model,
+			TopN:            req.Top,
+			CutLimit:        req.CutLimit,
+			SkipAttribution: req.SkipAttribution,
+		})
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	case ExplainModeValidate:
+		xml := req.CurrentModelXML
+		if strings.TrimSpace(xml) == "" {
+			xml = req.ModelXML
+		}
+		cm, err := uml.Decode(strings.NewReader(xml))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "current model: %v", err)
+			return
+		}
+		name := req.CurrentDiagram
+		if name == "" {
+			name = req.Diagram
+		}
+		d, ok := cm.Diagram(name)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "current model has no diagram %q", name)
+			return
+		}
+		val, err := explain.Validate(r.Context(), res, d)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, val)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q or %q)",
+			req.Mode, ExplainModeReport, ExplainModeValidate)
+	}
 }

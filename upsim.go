@@ -37,6 +37,7 @@ import (
 	"upsim/internal/casestudy"
 	"upsim/internal/core"
 	"upsim/internal/depend"
+	"upsim/internal/explain"
 	"upsim/internal/lint"
 	"upsim/internal/mapping"
 	"upsim/internal/modelgen"
@@ -520,3 +521,61 @@ func Logger() *slog.Logger { return obs.Logger() }
 // SetLogger swaps the process-wide structured logger; nil restores the
 // default stderr text logger.
 func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
+
+// --- Provenance & attribution (internal/explain) ---
+
+type (
+	// ExplainOptions tunes Explain (kernel, availability model, top-N
+	// ranking cut-off, cut-set budget).
+	ExplainOptions = explain.Options
+	// ExplainReport is the provenance & attribution report: per-path
+	// records and statistics, discovery trees and the availability
+	// attribution.
+	ExplainReport = explain.Report
+	// ServiceProvenance is one atomic service's share of an ExplainReport.
+	ServiceProvenance = explain.ServiceProvenance
+	// PathRecord is the provenance of one discovered path.
+	PathRecord = explain.PathRecord
+	// PathStatistics aggregates a path set (lengths, direct/transitive
+	// split, depth histogram).
+	PathStatistics = explain.PathStatistics
+	// DiscoveryTree is the prefix-merged view of an atomic service's paths,
+	// rooted at the requester.
+	DiscoveryTree = explain.TreeNode
+	// Attribution ranks cut sets and components by their contribution to
+	// service unavailability.
+	Attribution = explain.Attribution
+	// ComponentImportance is one component's Birnbaum and Fussell–Vesely
+	// importance.
+	ComponentImportance = explain.ComponentImportance
+	// CutSetRecord is one minimal cut set with its unavailability share.
+	CutSetRecord = explain.CutSetRecord
+	// Validation is the freshness verdict of ValidateUPSIM.
+	Validation = explain.Validation
+	// ValidationIssue is one reason a cached generation is stale.
+	ValidationIssue = explain.Issue
+	// BudgetError is the structured analysis-budget exhaustion error
+	// (cut-set expansion limits), carrying the budget kind, the atomic
+	// service and the limit.
+	BudgetError = depend.BudgetError
+)
+
+// Explain builds the provenance & attribution report for a generation: where
+// every availability number comes from. The report is bit-identical under the
+// compiled and legacy kernels.
+func Explain(ctx context.Context, res *Result, opts ExplainOptions) (*ExplainReport, error) {
+	return explain.Explain(ctx, res, opts)
+}
+
+// ValidateUPSIM checks a cached generation against a current topology
+// diagram and reports whether its paths — and every analysis derived from
+// them — still describe the infrastructure, with the reasons when not.
+func ValidateUPSIM(ctx context.Context, res *Result, cur *ObjectDiagram) (*Validation, error) {
+	return explain.Validate(ctx, res, cur)
+}
+
+// PathStatisticsOf aggregates a discovered path set.
+func PathStatisticsOf(paths []Path) PathStatistics { return explain.Statistics(paths) }
+
+// AsBudgetError unwraps a structured analysis-budget error from err.
+func AsBudgetError(err error) (*BudgetError, bool) { return depend.AsBudgetError(err) }

@@ -2,6 +2,7 @@ package upsim
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -394,5 +395,67 @@ func TestFacadeLint(t *testing.T) {
 	}
 	if !strings.Contains(lerr.Error(), "mapping-dangling-ref") {
 		t.Errorf("error text = %q", lerr.Error())
+	}
+}
+
+// TestFacadeExplain drives the provenance & attribution surface through the
+// public API: Explain, PathStatisticsOf, ValidateUPSIM and the structured
+// budget error.
+func TestFacadeExplain(t *testing.T) {
+	m, err := USIModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := USIPrintingService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(m, USIDiagramName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Generate(svc, USITableIMapping(), "facade-explain", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Explain(context.Background(), res, ExplainOptions{TopN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Count != res.TotalPaths || rep.Attribution == nil {
+		t.Fatalf("explain report incomplete: %+v", rep)
+	}
+	if len(rep.Attribution.CutSets) != 3 || len(rep.Attribution.Components) != 3 {
+		t.Errorf("TopN not applied: %d cuts, %d components",
+			len(rep.Attribution.CutSets), len(rep.Attribution.Components))
+	}
+	var tree *DiscoveryTree = rep.Services[0].Tree
+	if tree == nil || tree.Depth() != rep.Services[0].Stats.MaxLength+1 {
+		t.Errorf("discovery tree inconsistent: %+v", tree)
+	}
+	st := PathStatisticsOf(res.Services[0].Paths)
+	if st.Count != rep.Services[0].Stats.Count || st.MeanLength != rep.Services[0].Stats.MeanLength {
+		t.Errorf("PathStatisticsOf = %+v, report stats %+v", st, rep.Services[0].Stats)
+	}
+
+	// Self-validation is fresh.
+	cur, ok := m.Diagram(USIDiagramName)
+	if !ok {
+		t.Fatal("no infrastructure diagram")
+	}
+	v, err := ValidateUPSIM(context.Background(), res, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Fresh {
+		t.Errorf("self-validation stale: %+v", v.Issues)
+	}
+
+	// The structured budget error surfaces through the facade.
+	_, err = Explain(context.Background(), res, ExplainOptions{CutLimit: 1})
+	be, ok := AsBudgetError(err)
+	if !ok || be.Limit != 1 || be.AtomicService == "" {
+		t.Fatalf("AsBudgetError = %+v, %v (err %v)", be, ok, err)
 	}
 }
