@@ -39,17 +39,17 @@ type dependFamily struct {
 // families. InclusionExclusion is omitted where the service path-set count
 // exceeds the 2^20-term budget (the legacy engine refuses those too).
 type dependWorkload struct {
-	Structure          string         `json:"structure"`
-	Components         int            `json:"components"`
-	Words              int            `json:"bitsetWords"`
-	ServiceSets        int            `json:"servicePathSets"`
-	CutSets            int            `json:"minimalCutSets"`
-	InclusionExclusion *dependFamily  `json:"inclusionExclusion,omitempty"`
-	MinimalCuts        dependFamily   `json:"minimalCuts"`
-	ExactFactoring     dependFamily   `json:"exactFactoring"`
-	MonteCarlo         dependFamily   `json:"monteCarlo"`
-	MCLegacyNsPerSamp  float64        `json:"mcLegacyNsPerSample"`
-	MCCompNsPerSamp    float64        `json:"mcCompiledNsPerSample"`
+	Structure          string        `json:"structure"`
+	Components         int           `json:"components"`
+	Words              int           `json:"bitsetWords"`
+	ServiceSets        int           `json:"servicePathSets"`
+	CutSets            int           `json:"minimalCutSets"`
+	InclusionExclusion *dependFamily `json:"inclusionExclusion,omitempty"`
+	MinimalCuts        dependFamily  `json:"minimalCuts"`
+	ExactFactoring     dependFamily  `json:"exactFactoring"`
+	MonteCarlo         dependFamily  `json:"monteCarlo"`
+	MCLegacyNsPerSamp  float64       `json:"mcLegacyNsPerSample"`
+	MCCompNsPerSamp    float64       `json:"mcCompiledNsPerSample"`
 }
 
 // dependBench is the BENCH_depend.json schema. The floors mirror the

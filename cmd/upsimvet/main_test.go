@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestExitCodes pins the driver contract: 0 clean, 1 diagnostics, 2 driver
+// failure — the codes CI branches on.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"rules listing", []string{"-rules"}, 0},
+		{"clean package", []string{"../../internal/gostatic"}, 0},
+		{"clean tree", []string{"../../..."}, 0},
+		{"mutated fixture", []string{"../../internal/gostatic/testdata/src/hotalloc"}, 1},
+		{"mutated fixture json", []string{"-json", "../../internal/gostatic/testdata/src/poolreturn"}, 1},
+		{"missing dir", []string{"../../no/such/dir"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

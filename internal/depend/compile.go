@@ -42,10 +42,15 @@ var (
 // bitset is a fixed-width set of component ids, one bit per id.
 type bitset []uint64
 
+//upsim:hotpath bit ops, one per membership test in every analysis loop
 func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
-func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+//upsim:hotpath
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
 
 // containsAll reports sub ⊆ super.
+//
+//upsim:hotpath
 func containsAll(sub, super bitset) bool {
 	for w, x := range sub {
 		if x&^super[w] != 0 {
@@ -56,6 +61,8 @@ func containsAll(sub, super bitset) bool {
 }
 
 // intersects reports sub ∩ super ≠ ∅.
+//
+//upsim:hotpath
 func intersects(a, b bitset) bool {
 	for w, x := range a {
 		if x&b[w] != 0 {
@@ -65,6 +72,7 @@ func intersects(a, b bitset) bool {
 	return false
 }
 
+//upsim:hotpath
 func popcount(b bitset) int {
 	n := 0
 	for _, w := range b {
@@ -78,6 +86,8 @@ func popcount(b bitset) int {
 // the first differing element is the lowest bit of the symmetric
 // difference, and the set containing it sorts first — because ids are
 // interned in sorted-name order this reproduces comparePathSets exactly.
+//
+//upsim:hotpath
 func compareBits(a, b bitset) int {
 	if ca, cb := popcount(a), popcount(b); ca != cb {
 		return ca - cb
@@ -96,9 +106,14 @@ func compareBits(a, b bitset) int {
 // minimalizeBits is Minimalize on bitsets: sort canonically, drop adjacent
 // duplicates, drop supersets of kept sets. It filters in place over the
 // input slice header and returns a prefix-orderd new slice of survivors.
+//
+//upsim:hotpath
 func minimalizeBits(sets []bitset) []bitset {
 	sort.Slice(sets, func(i, j int) bool { return compareBits(sets[i], sets[j]) < 0 })
-	var out []bitset
+	// Preallocated at the only upper bound known without a second pass: every
+	// candidate survives. Filtering into sets[:0] instead would clobber
+	// sets[i-1], which the adjacent-duplicate check still reads.
+	out := make([]bitset, 0, len(sets))
 	for i, cand := range sets {
 		if i > 0 && compareBits(sets[i-1], cand) == 0 {
 			continue
@@ -131,8 +146,10 @@ type bitArena struct {
 	off    int // next free word in current block
 }
 
+//upsim:hotpath
 func (a *bitArena) reset() { a.bi, a.off = 0, 0 }
 
+//upsim:hotpath bump allocation; amortised growth via chunked blocks only
 func (a *bitArena) alloc(w int) bitset {
 	if w == 0 {
 		return nil
@@ -245,7 +262,7 @@ func (cs *CompiledStructure) packAvail(avail map[string]float64) ([]float64, err
 	for i, c := range cs.names {
 		a, ok := avail[c]
 		if !ok {
-			return nil, fmt.Errorf("depend: no availability for component %q", c)
+			return nil, fmt.Errorf(errFmtNoAvailability, c)
 		}
 		if err := checkProb(a, "availability of "+c); err != nil {
 			return nil, err
@@ -349,7 +366,7 @@ func (cs *CompiledStructure) minimalCutBits(limit int) ([]bitset, *bitArena, err
 			if be, ok := AsBudgetError(err); ok {
 				return nil, nil, be.forAtomic(a.name)
 			}
-			return nil, nil, fmt.Errorf("depend: atomic service %q: %w", a.name, err)
+			return nil, nil, fmt.Errorf(errFmtAtomicService, a.name, err)
 		}
 		all = append(all, cuts...)
 	}
@@ -359,6 +376,8 @@ func (cs *CompiledStructure) minimalCutBits(limit int) ([]bitset, *bitArena, err
 // transversalsBits is the bitset transversal construction: extending a
 // transversal is copy + one OR, the hit test is a word-AND, and all
 // candidates live in the arena.
+//
+//upsim:hotpath
 func transversalsBits(sets []bitset, words, limit int, ar *bitArena) ([]bitset, error) {
 	cur := []bitset{ar.alloc(words)}
 	for _, ps := range sets {
@@ -455,7 +474,7 @@ func (cs *CompiledStructure) ExactInclusionExclusion(avail map[string]float64, l
 	}
 	n := len(paths)
 	if n > limit {
-		return 0, fmt.Errorf("depend: inclusion-exclusion over %d path sets exceeds limit %d", n, limit)
+		return 0, fmt.Errorf(errFmtInclExclLimit, n, limit)
 	}
 	counts := make([]int32, len(cs.names))
 	present := make(bitset, cs.words)
@@ -668,7 +687,7 @@ func (cs *CompiledStructure) MonteCarlo(avail map[string]float64, samples int, s
 		return 0, 0, err
 	}
 	if samples < 1 {
-		return 0, 0, fmt.Errorf("depend: MonteCarlo needs at least 1 sample, got %d", samples)
+		return 0, 0, fmt.Errorf(errFmtMonteCarloSamples, samples)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	up := make(bitset, cs.words)
@@ -692,6 +711,8 @@ func (cs *CompiledStructure) MonteCarlo(avail map[string]float64, samples int, s
 
 // evalUp evaluates the structure function: every atomic service needs some
 // path set fully contained in the up vector.
+//
+//upsim:hotpath once per Monte-Carlo sample
 func (cs *CompiledStructure) evalUp(up bitset) bool {
 	for _, a := range cs.atomics {
 		works := false
@@ -720,7 +741,7 @@ func (cs *CompiledStructure) MonteCarloParallel(avail map[string]float64, sample
 		return 0, 0, err
 	}
 	if samples < 1 {
-		return 0, 0, fmt.Errorf("depend: MonteCarloParallel needs at least 1 sample, got %d", samples)
+		return 0, 0, fmt.Errorf(errFmtMCParallelSamples, samples)
 	}
 	if workers < 1 {
 		workers = runtime.NumCPU()
@@ -775,7 +796,7 @@ func (cs *CompiledStructure) MonteCarloParallel(avail map[string]float64, sample
 func (cs *CompiledStructure) WhatIf(avail map[string]float64, forced map[string]bool) (float64, error) {
 	for c := range forced {
 		if _, ok := avail[c]; !ok {
-			return 0, fmt.Errorf("depend: forced component %q not in structure", c)
+			return 0, fmt.Errorf(errFmtForcedNotInStruct, c)
 		}
 	}
 	if cs.validErr != nil {
@@ -810,7 +831,7 @@ func (cs *CompiledStructure) Birnbaum(avail map[string]float64, component string
 	}
 	id, ok := cs.index[component]
 	if !ok {
-		return 0, fmt.Errorf("depend: component %q not in structure", component)
+		return 0, fmt.Errorf(errFmtCompNotInStruct, component)
 	}
 	paUp := append([]float64(nil), pa...)
 	paUp[id] = 1

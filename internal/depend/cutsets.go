@@ -82,7 +82,7 @@ func (s *ServiceStructure) MinimalCutSets(limit int) ([]PathSet, error) {
 			if be, ok := AsBudgetError(err); ok {
 				return nil, be.forAtomic(a.Name)
 			}
-			return nil, fmt.Errorf("depend: atomic service %q: %w", a.Name, err)
+			return nil, fmt.Errorf(errFmtAtomicService, a.Name, err)
 		}
 		all = append(all, cuts...)
 	}
@@ -287,7 +287,7 @@ func (s *ServiceStructure) ExactInclusionExclusion(avail map[string]float64, lim
 		limit = 20
 	}
 	if len(paths) > limit {
-		return 0, fmt.Errorf("depend: inclusion-exclusion over %d path sets exceeds limit %d", len(paths), limit)
+		return 0, fmt.Errorf(errFmtInclExclLimit, len(paths), limit)
 	}
 	// The product over the union must run in a deterministic component
 	// order: map iteration would reorder the float multiplies from call to
@@ -330,7 +330,7 @@ func (s *ServiceStructure) WhatIf(avail map[string]float64, forced map[string]bo
 	adj := cloneAvail(avail)
 	for c, up := range forced {
 		if _, ok := adj[c]; !ok {
-			return 0, fmt.Errorf("depend: forced component %q not in structure", c)
+			return 0, fmt.Errorf(errFmtForcedNotInStruct, c)
 		}
 		if up {
 			adj[c] = 1

@@ -77,7 +77,7 @@ func checkAvail(s *ServiceStructure, avail map[string]float64) error {
 	for _, c := range s.Components() {
 		a, ok := avail[c]
 		if !ok {
-			return fmt.Errorf("depend: no availability for component %q", c)
+			return fmt.Errorf(errFmtNoAvailability, c)
 		}
 		if err := checkProb(a, "availability of "+c); err != nil {
 			return err
@@ -290,7 +290,7 @@ func (s *ServiceStructure) MonteCarlo(avail map[string]float64, samples int, see
 		return 0, 0, err
 	}
 	if samples < 1 {
-		return 0, 0, fmt.Errorf("depend: MonteCarlo needs at least 1 sample, got %d", samples)
+		return 0, 0, fmt.Errorf(errFmtMonteCarloSamples, samples)
 	}
 	comps := s.Components()
 	idx := make(map[string]int, len(comps))
@@ -361,7 +361,7 @@ func (s *ServiceStructure) MonteCarloParallel(avail map[string]float64, samples 
 		return 0, 0, err
 	}
 	if samples < 1 {
-		return 0, 0, fmt.Errorf("depend: MonteCarloParallel needs at least 1 sample, got %d", samples)
+		return 0, 0, fmt.Errorf(errFmtMCParallelSamples, samples)
 	}
 	if workers < 1 {
 		workers = runtime.NumCPU()
@@ -430,7 +430,7 @@ func (s *ServiceStructure) Birnbaum(avail map[string]float64, component string) 
 		}
 	}
 	if !found {
-		return 0, fmt.Errorf("depend: component %q not in structure", component)
+		return 0, fmt.Errorf(errFmtCompNotInStruct, component)
 	}
 	up := cloneAvail(avail)
 	up[component] = 1

@@ -1,0 +1,110 @@
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// errparityRule guards the legacy≡compiled error-string parity of the kernel
+// packages. Both compiled kernels promise bit-identical behaviour *including
+// error messages* (pinned by parity tests) — but when the same fmt.Errorf
+// format string is written out twice, once in the legacy file and once in
+// compile.go, nothing stops an edit to one copy from silently breaking the
+// contract until a parity test happens to cover that error path. The rule
+// finds format-string literals passed to fmt.Errorf/fmt.Sprintf that appear
+// both in a package's compile.go and in another file of the same package and
+// demands they be hoisted into a shared constant, making drift a compile
+// error instead of a latent test failure.
+//
+// Scope: only packages that contain a file named compile.go — the marker of
+// a compiled-kernel package with a legacy twin (internal/pathdisc,
+// internal/depend). Other packages repeat format strings freely.
+type errparityRule struct{}
+
+func (errparityRule) ID() string         { return "errparity" }
+func (errparityRule) Severity() Severity { return SeverityError }
+func (errparityRule) Doc() string {
+	return "kernel error format strings shared by legacy and compiled files must be constants, not duplicated literals"
+}
+
+// compiledKernelFile is the filename that marks a package as having a
+// compiled kernel with a legacy twin.
+const compiledKernelFile = "compile.go"
+
+func (r errparityRule) Check(p *Package) []Diagnostic {
+	compiled := -1
+	for i, name := range p.Filenames {
+		if filepath.Base(name) == compiledKernelFile {
+			compiled = i
+			break
+		}
+	}
+	if compiled < 0 {
+		return nil
+	}
+	// Collect the fmt format literals per file: literal value -> file index
+	// -> first occurrence position.
+	type occurrence struct {
+		fileIdx int
+		pos     ast.Node
+	}
+	byLit := make(map[string][]occurrence)
+	for i, f := range p.Files {
+		idx := i
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			switch calleeName(call.Fun) {
+			case "fmt.Errorf", "fmt.Sprintf":
+			default:
+				return true
+			}
+			lit := stringLiteral(call.Args[0])
+			if lit == nil {
+				return true
+			}
+			byLit[lit.Value] = append(byLit[lit.Value], occurrence{fileIdx: idx, pos: lit})
+			return true
+		})
+	}
+	var out []Diagnostic
+	lits := make([]string, 0, len(byLit))
+	for lit := range byLit {
+		lits = append(lits, lit)
+	}
+	sort.Strings(lits)
+	for _, lit := range lits {
+		occs := byLit[lit]
+		inCompiled := false
+		others := make(map[string]bool)
+		for _, o := range occs {
+			if o.fileIdx == compiled {
+				inCompiled = true
+			} else {
+				others[filepath.Base(p.Filenames[o.fileIdx])] = true
+			}
+		}
+		if !inCompiled || len(others) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(others))
+		for n := range others {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, o := range occs {
+			if o.fileIdx != compiled {
+				continue
+			}
+			out = append(out, p.diag(r, o.pos.Pos(),
+				fmt.Sprintf("parity error format %s is duplicated in %s", lit, strings.Join(names, ", ")),
+				"hoist the format into a shared package constant used by both kernels"))
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPathDirective is the annotation that opts a function into the hotalloc
+// rule. It is a directive comment (no space after //, like //go:noinline)
+// placed in the comment group directly above the function declaration;
+// anything after the directive name is free-text rationale:
+//
+//	//upsim:hotpath per-expansion inner loop of the CSR DFS
+//	func (q *csrSearch) rec(cur int32) bool { ... }
+//
+// gofmt preserves directive comments verbatim, so the annotation survives
+// formatting.
+const HotPathDirective = "//upsim:hotpath"
+
+// hotallocRule enforces the allocation-free warm-path contract on functions
+// annotated //upsim:hotpath — the compiled kernels' inner loops, whose whole
+// reason to exist is running without per-expansion allocation (ROADMAP
+// "allocation-free warm path"; DESIGN §9–10). Three allocation shapes are
+// banned:
+//
+//   - fmt.Sprintf / fmt.Errorf / fmt.Sprint / fmt.Sprintln / fmt.Appendf
+//     calls — formatting allocates and reflects, never acceptable per
+//     expansion (error paths hoist their format work to cold callers).
+//   - string concatenation inside a loop where an operand is a string
+//     literal — each + builds a fresh string.
+//   - append inside a loop to a slice that provably starts with no capacity
+//     (`var s []T`, `s := []T{}`, `T(nil)`, `make([]T, 0)`) — growth
+//     reallocates log-many times; preallocate or reuse pooled scratch.
+//
+// The rule is syntactic: appends to struct fields (pooled scratch, arenas)
+// and to locals created by make-with-capacity pass.
+type hotallocRule struct{}
+
+func (hotallocRule) ID() string         { return "hotalloc" }
+func (hotallocRule) Severity() Severity { return SeverityError }
+func (hotallocRule) Doc() string {
+	return "//upsim:hotpath functions must not format strings or grow unpreallocated slices in loops"
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //upsim:hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedFmt is the set of allocating fmt formatters banned on hot paths.
+var bannedFmt = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Errorf":   true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Appendf":  true,
+}
+
+func (r hotallocRule) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			out = append(out, r.checkFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func (r hotallocRule) checkFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	loops := loopRanges(fd.Body)
+	growable := growableLocals(fd.Body)
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeName(v.Fun); bannedFmt[callee] {
+				out = append(out, p.diag(r, v.Pos(),
+					fmt.Sprintf("hot path %s calls %s", name, callee),
+					"hoist the formatting to a cold caller or a shared constant"))
+			}
+			if calleeBase(v.Fun) == "append" && len(v.Args) > 0 && inAny(loops, v.Pos()) {
+				switch target := v.Args[0].(type) {
+				case *ast.Ident:
+					if growable[target.Name] {
+						out = append(out, p.diag(r, v.Pos(),
+							fmt.Sprintf("hot path %s appends to %q in a loop but %q is declared without capacity",
+								name, target.Name, target.Name),
+							"preallocate with make(..., 0, n) or reuse pooled scratch"))
+					}
+				default:
+					if isNilish(v.Args[0]) {
+						out = append(out, p.diag(r, v.Pos(),
+							fmt.Sprintf("hot path %s appends to a nil slice in a loop, allocating per iteration", name),
+							"preallocate the destination outside the loop"))
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && inAny(loops, v.Pos()) &&
+				(isStringLiteral(v.X) || isStringLiteral(v.Y)) {
+				out = append(out, p.diag(r, v.Pos(),
+					fmt.Sprintf("hot path %s concatenates strings inside a loop", name),
+					"build the string once outside the loop or use preallocated append"))
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && inAny(loops, v.Pos()) &&
+				len(v.Rhs) == 1 && isStringLiteral(v.Rhs[0]) {
+				out = append(out, p.diag(r, v.Pos(),
+					fmt.Sprintf("hot path %s concatenates strings inside a loop", name),
+					"build the string once outside the loop or use preallocated append"))
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,87 @@
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// jsontagRule enforces explicit json tags on API payload structs. The HTTP
+// server's response shapes are a stability contract (README "HTTP API"
+// mirrors them); an exported field without a json tag still marshals — under
+// its capitalised Go name — so the wire format silently grows a
+// PascalCase field no client expects and no review flags. The rule treats
+// any struct with at least one json-tagged field as a declared JSON payload
+// and requires every exported, non-embedded field of it to carry an explicit
+// tag (json:"-" counts: it is a decision, not an omission).
+//
+// Structs with no json tags at all (pure in-memory types, xml payloads) are
+// out of scope, as are unexported fields (encoding/json ignores them) and
+// embedded fields (their tagged fields promote).
+type jsontagRule struct{}
+
+func (jsontagRule) ID() string         { return "jsontag" }
+func (jsontagRule) Severity() Severity { return SeverityError }
+func (jsontagRule) Doc() string {
+	return "structs with json tags must tag every exported field explicitly"
+}
+
+// fieldTag returns the raw struct tag, "" when absent.
+func fieldTag(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	return f.Tag.Value
+}
+
+func (r jsontagRule) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			tagged := false
+			for _, field := range st.Fields.List {
+				if strings.Contains(fieldTag(field), `json:"`) {
+					tagged = true
+					break
+				}
+			}
+			if !tagged {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 { // embedded: promoted fields carry their own tags
+					continue
+				}
+				if strings.Contains(fieldTag(field), `json:"`) {
+					continue
+				}
+				for _, name := range field.Names {
+					if !ast.IsExported(name.Name) {
+						continue
+					}
+					out = append(out, p.diag(r, name.Pos(),
+						fmt.Sprintf("exported field %s of JSON struct %s has no json tag", name.Name, ts.Name.Name),
+						fmt.Sprintf("add `json:\"%s\"` (or json:\"-\" to exclude it)", lowerFirst(name.Name))))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lowerFirst suggests the conventional camelCase wire name.
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}

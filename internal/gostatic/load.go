@@ -1,0 +1,145 @@
+package gostatic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses the packages named by the go-tool-style patterns: a directory
+// path loads that one package, a path ending in "/..." loads every package
+// under it. Test files (_test.go) are excluded — the invariants the rules
+// enforce are production-code contracts — and, like the go tool, directories
+// named "testdata" or "vendor" and directories whose name starts with "." or
+// "_" are never walked. All returned packages share one token.FileSet so
+// positions are comparable across the run.
+func Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := loadDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("gostatic: no Go packages match %v", patterns)
+	}
+	return pkgs, nil
+}
+
+// expand resolves the patterns into a sorted, de-duplicated directory list.
+func expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(rest)
+			if rest == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if path != root && skipDir(d.Name()) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("gostatic: walking %q: %w", pat, err)
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("gostatic: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("gostatic: pattern %q is not a directory", pat)
+		}
+		add(filepath.Clean(pat))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skipDir reports whether a walked directory is outside the go tool's
+// package space.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// loadDir parses one directory's non-test Go files, grouped by package
+// clause (a directory normally holds exactly one package once test files are
+// excluded). Directories without Go files load as nothing.
+func loadDir(fset *token.FileSet, dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gostatic: %w", err)
+	}
+	byName := make(map[string]*Package)
+	var order []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("gostatic: %w", err)
+		}
+		pkgName := file.Name.Name
+		p, ok := byName[pkgName]
+		if !ok {
+			p = &Package{Name: pkgName, Dir: dir, Fset: fset}
+			byName[pkgName] = p
+			order = append(order, pkgName)
+		}
+		p.Files = append(p.Files, file)
+		p.Filenames = append(p.Filenames, path)
+	}
+	var pkgs []*Package
+	for _, n := range order {
+		pkgs = append(pkgs, byName[n])
+	}
+	return pkgs, nil
+}
+
+// file returns the index of f's filename in the package, or "" when unknown.
+func (p *Package) filename(f *ast.File) string {
+	for i, pf := range p.Files {
+		if pf == f {
+			return p.Filenames[i]
+		}
+	}
+	return ""
+}

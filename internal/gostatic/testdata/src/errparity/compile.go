@@ -1,0 +1,14 @@
+// Package errparity is an upsimvet rule fixture: a mock compiled-kernel
+// package (marked by this file's name, compile.go) whose legacy twin repeats
+// one error format literal and shares another through a constant.
+package errparity
+
+import "fmt"
+
+func compiledValidate(name string) error {
+	return fmt.Errorf("errparity: component %q missing", name) // want errparity
+}
+
+func compiledShared(name string) error {
+	return fmt.Errorf(errFmtShared, name)
+}

@@ -1,0 +1,15 @@
+package errparity
+
+import "fmt"
+
+// errFmtShared is the negative control: the shared-constant form the rule
+// demands never fires.
+const errFmtShared = "errparity: service %q missing"
+
+func legacyValidate(name string) error {
+	return fmt.Errorf("errparity: component %q missing", name)
+}
+
+func legacyShared(name string) error {
+	return fmt.Errorf(errFmtShared, name)
+}

@@ -1,0 +1,47 @@
+// Package hotalloc is an upsimvet rule fixture. Every line that must produce
+// a diagnostic carries a `// want <rule>` marker consumed by the rule tests;
+// everything else must stay clean.
+package hotalloc
+
+import "fmt"
+
+//upsim:hotpath
+func sprintfInHot(n int) string {
+	return fmt.Sprintf("n=%d", n) // want hotalloc
+}
+
+//upsim:hotpath
+func concatInLoop(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + "," // want hotalloc
+		s = s + p
+	}
+	return s
+}
+
+//upsim:hotpath
+func appendNoCap(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want hotalloc
+	}
+	return out
+}
+
+// appendPrealloc is the negative control: annotated, appends in a loop, but
+// the destination carries capacity, so the rule stays quiet.
+//
+//upsim:hotpath
+func appendPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// coldSprintf is unannotated: formatting is fine off the hot path.
+func coldSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,26 @@
+// Package jsontag is an upsimvet rule fixture: a JSON payload struct with
+// one untagged exported field, plus the out-of-scope shapes the rule must
+// leave alone.
+package jsontag
+
+type payload struct {
+	ID    string `json:"id"`
+	Count int    // want jsontag
+	note  string
+}
+
+// plain has no json tags at all: a pure in-memory type, out of scope.
+type plain struct {
+	Name string
+	Age  int
+}
+
+// excluded opts a field out explicitly — a decision, not an omission.
+type excluded struct {
+	ID     string `json:"id"`
+	Secret string `json:"-"`
+}
+
+var _ = payload{note: ""}
+var _ = plain{}
+var _ = excluded{}

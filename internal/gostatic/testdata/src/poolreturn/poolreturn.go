@@ -1,0 +1,40 @@
+// Package poolreturn is an upsimvet rule fixture: sync.Pool acquisitions
+// that leak, balance, and transfer ownership, both directly and through
+// get/put wrapper pairs.
+package poolreturn
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+type kernel struct{ pool sync.Pool }
+
+// getScratch acquires in a return statement: ownership transfer, clean.
+func (k *kernel) getScratch() *scratch { return k.pool.Get().(*scratch) }
+
+func (k *kernel) putScratch(s *scratch) { k.pool.Put(s) }
+
+func (k *kernel) leakDirect() {
+	s := k.pool.Get().(*scratch) // want poolreturn
+	s.buf = s.buf[:0]
+}
+
+func (k *kernel) leakWrapper() {
+	s := k.getScratch() // want poolreturn
+	s.buf = s.buf[:0]
+}
+
+// balanced is the negative control: acquire via the wrapper, release via its
+// paired releaser.
+func (k *kernel) balanced() {
+	s := k.getScratch()
+	defer k.putScratch(s)
+	s.buf = append(s.buf[:0], 1)
+}
+
+// handsOff returns the acquired value: its caller owns the Put.
+func (k *kernel) handsOff() *scratch {
+	s := k.getScratch()
+	s.buf = s.buf[:0]
+	return s
+}

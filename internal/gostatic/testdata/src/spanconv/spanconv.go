@@ -1,0 +1,46 @@
+// Package spanconv is an upsimvet rule fixture: spans started and leaked,
+// discarded, ended, and handed off.
+package spanconv
+
+import "context"
+
+type span struct{}
+
+func (span) End() {}
+
+// StartSpan mimics the obs facade; the rule matches on the callee name only.
+func StartSpan(ctx context.Context, name string) (context.Context, span) {
+	_ = name
+	return ctx, span{}
+}
+
+func leaks(ctx context.Context) {
+	ctx, sp := StartSpan(ctx, "leaks") // want spanconv
+	_ = ctx
+	_ = sp
+}
+
+func discards(ctx context.Context) {
+	ctx, _ = StartSpan(ctx, "discards") // want spanconv
+	_ = ctx
+}
+
+// deferred is the negative control for the function-scoped convention.
+func deferred(ctx context.Context) {
+	ctx, sp := StartSpan(ctx, "deferred")
+	defer sp.End()
+	_ = ctx
+}
+
+// midway ends its span mid-function, pipeline-style: also fine.
+func midway(ctx context.Context) {
+	ctx, sp := StartSpan(ctx, "midway")
+	sp.End()
+	_ = ctx
+}
+
+// handsOff transfers ownership by returning the span.
+func handsOff(ctx context.Context) (context.Context, span) {
+	ctx, sp := StartSpan(ctx, "handsOff")
+	return ctx, sp
+}

@@ -210,14 +210,14 @@ func (c *Compiled) putScratch(s *scratch) {
 func (c *Compiled) validate(src, dst string) (int32, int32, error) {
 	s, ok := c.index[src]
 	if !ok {
-		return 0, 0, fmt.Errorf("pathdisc: requester %q not in infrastructure", src)
+		return 0, 0, fmt.Errorf(errFmtRequesterMissing, src)
 	}
 	d, ok := c.index[dst]
 	if !ok {
-		return 0, 0, fmt.Errorf("pathdisc: provider %q not in infrastructure", dst)
+		return 0, 0, fmt.Errorf(errFmtProviderMissing, dst)
 	}
 	if s == d {
-		return 0, 0, fmt.Errorf("pathdisc: requester and provider are the same component %q", src)
+		return 0, 0, fmt.Errorf(errFmtSameEndpoints, src)
 	}
 	return s, d, nil
 }
@@ -236,6 +236,8 @@ func (c *Compiled) adjacency(opts Options) (start, node, edge []int32) {
 // dist[v] >= 0 and dist[v] <= remaining hops, so skipping nodes that fail
 // either test can never remove a reportable path; it only skips subtrees in
 // which every continuation dead-ends (see DESIGN.md §9 for the sketch).
+//
+//upsim:hotpath
 func (c *Compiled) reverseBFS(s *scratch, dst int32) {
 	for i := range s.dist {
 		s.dist[i] = -1
@@ -285,8 +287,13 @@ type csrSearch struct {
 	edgeArena []int
 }
 
-func (q *csrSearch) visit(v int32)          { q.s.visited[v>>6] |= 1 << (uint(v) & 63) }
-func (q *csrSearch) unvisit(v int32)        { q.s.visited[v>>6] &^= 1 << (uint(v) & 63) }
+//upsim:hotpath bitset membership ops, one per DFS expansion
+func (q *csrSearch) visit(v int32) { q.s.visited[v>>6] |= 1 << (uint(v) & 63) }
+
+//upsim:hotpath
+func (q *csrSearch) unvisit(v int32) { q.s.visited[v>>6] &^= 1 << (uint(v) & 63) }
+
+//upsim:hotpath
 func (q *csrSearch) isVisited(v int32) bool { return q.s.visited[v>>6]&(1<<(uint(v)&63)) != 0 }
 
 // arenaChunk sizes a fresh arena chunk: big enough for the requested path
@@ -303,6 +310,8 @@ func arenaChunk(need int) int {
 // from the search's arenas; full slice expressions cap every path at its own
 // region, so a caller appending to a returned Path reallocates instead of
 // clobbering the next path.
+//
+//upsim:hotpath
 func (q *csrSearch) emit() {
 	nl := len(q.s.nodes)
 	if cap(q.nameArena)-len(q.nameArena) < nl {
@@ -334,6 +343,8 @@ func (q *csrSearch) emit() {
 // pruned expansions (dead ends, or detours provably longer than the depth
 // budget) are skipped before being traversed, which lowers EdgeVisits and is
 // counted in Stats.Pruned. Returns false to abort on MaxPaths.
+//
+//upsim:hotpath
 func (q *csrSearch) rec(cur int32) bool {
 	if len(q.s.nodes) > q.stats.MaxStack {
 		q.stats.MaxStack = len(q.s.nodes)
@@ -371,6 +382,7 @@ func (q *csrSearch) rec(cur int32) bool {
 	return true
 }
 
+//upsim:hotpath
 func (q *csrSearch) pop() {
 	q.s.nodes = q.s.nodes[:len(q.s.nodes)-1]
 	q.s.edges = q.s.edges[:len(q.s.edges)-1]
@@ -436,6 +448,8 @@ func (c *Compiled) AllPathsIterative(src, dst string, opts Options) ([]Path, Sta
 }
 
 // iterate drives the explicit-stack DFS over the frames in q.s.frames.
+//
+//upsim:hotpath
 func (q *csrSearch) iterate() {
 	s := q.s
 	for len(s.frames) > 0 {
@@ -593,6 +607,8 @@ func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) 
 
 // branch enumerates the paths whose first hop is the (branchNode, branchEdge)
 // adjacency entry of src. dist is the shared read-only reachability table.
+//
+//upsim:hotpath
 func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, start, adjNode, adjEdge []int32, opts Options) ([]Path, Stats) {
 	var stats Stats
 	if branchNode == src { // self-loop: simple paths never traverse it

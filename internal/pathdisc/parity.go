@@ -1,0 +1,13 @@
+package pathdisc
+
+// Parity error formats shared by the map-based walker (pathdisc.go) and the
+// compiled CSR kernel (compile.go). The kernel promises output identical to
+// the legacy walker *including error messages* — pinned by the property and
+// fuzz tests and enforced statically by the upsimvet errparity rule: a
+// format string used by both implementations must be a single constant, so
+// the two validation paths cannot drift apart silently.
+const (
+	errFmtRequesterMissing = "pathdisc: requester %q not in infrastructure"
+	errFmtProviderMissing  = "pathdisc: provider %q not in infrastructure"
+	errFmtSameEndpoints    = "pathdisc: requester and provider are the same component %q"
+)

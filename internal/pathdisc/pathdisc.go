@@ -132,13 +132,13 @@ type Stats struct {
 
 func validateEndpoints(g *topology.Graph, src, dst string) error {
 	if !g.HasNode(src) {
-		return fmt.Errorf("pathdisc: requester %q not in infrastructure", src)
+		return fmt.Errorf(errFmtRequesterMissing, src)
 	}
 	if !g.HasNode(dst) {
-		return fmt.Errorf("pathdisc: provider %q not in infrastructure", dst)
+		return fmt.Errorf(errFmtProviderMissing, dst)
 	}
 	if src == dst {
-		return fmt.Errorf("pathdisc: requester and provider are the same component %q", src)
+		return fmt.Errorf(errFmtSameEndpoints, src)
 	}
 	return nil
 }

@@ -202,3 +202,48 @@ func TestWarmHitSkipsEncoding(t *testing.T) {
 		}
 	}
 }
+
+// TestExplainCacheReplay asserts the explain report rides the same memoised
+// response-bytes machinery: a repeated report request is served from the
+// cache (the per-route encode counter does not move on the warm hit, the
+// bytes are identical), while changing any report knob misses and re-encodes.
+func TestExplainCacheReplay(t *testing.T) {
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	req := usiExplainRequest(t, ts)
+
+	const route = "/api/v1/explain"
+	resp, cold := postJSON(t, ts, route, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d: %s", resp.StatusCode, cold)
+	}
+	encodes := mResponseEncodes.With(route).Value()
+	if encodes == 0 {
+		t.Fatal("cold explain did not count an encode")
+	}
+
+	resp, warm := postJSON(t, ts, route, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm explain = %d: %s", resp.StatusCode, warm)
+	}
+	if got := mResponseEncodes.With(route).Value(); got != encodes {
+		t.Errorf("warm explain re-encoded: counter %d -> %d", encodes, got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm explain body differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// A different report knob is a different cache key: it must re-analyse
+	// and re-encode rather than replay the full report's bytes.
+	req["top"] = 1
+	resp, truncated := postJSON(t, ts, route, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("top=1 explain = %d: %s", resp.StatusCode, truncated)
+	}
+	if got := mResponseEncodes.With(route).Value(); got != encodes+1 {
+		t.Errorf("top=1 explain encode counter = %d, want %d", got, encodes+1)
+	}
+	if bytes.Equal(cold, truncated) {
+		t.Error("top=1 explain replayed the untruncated report")
+	}
+}

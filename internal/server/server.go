@@ -755,29 +755,19 @@ func (a *api) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, _, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	switch req.Mode {
 	case "", ExplainModeReport:
-		model := depend.ModelExact
-		if req.Formula1 {
-			model = depend.ModelFormula1
-		}
-		rep, err := explain.Explain(r.Context(), res, explain.Options{
-			Legacy:          req.LegacyKernel,
-			Model:           model,
-			TopN:            req.Top,
-			CutLimit:        req.CutLimit,
-			SkipAttribution: req.SkipAttribution,
-		})
+		resp, err := analyzeExplain(r.Context(), a.cache, genKey, res, &req)
 		if err != nil {
 			writeAnalysisError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, rep)
+		writeRawJSON(w, http.StatusOK, resp.body)
 	case ExplainModeValidate:
 		xml := req.CurrentModelXML
 		if strings.TrimSpace(xml) == "" {
@@ -807,4 +797,44 @@ func (a *api) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q or %q)",
 			req.Mode, ExplainModeReport, ExplainModeValidate)
 	}
+}
+
+// analyzeExplain builds the provenance & attribution report through the
+// shared cache, keyed on the generation content hash plus every report knob.
+// Like analyzeAvailability, the cache holds the *encoded* response: a warm
+// hit skips structure extraction, cut-set expansion, importance attribution
+// AND re-marshalling — the stored bytes go straight to the wire. c == nil
+// (or an empty genKey from an uncached generation) disables caching.
+func analyzeExplain(ctx context.Context, c *cache.Cache, genKey string, res *core.Result, req *explainRequest) (*encodedResponse, error) {
+	model := depend.ModelExact
+	if req.Formula1 {
+		model = depend.ModelFormula1
+	}
+	compute := func() (any, error) {
+		rep, err := explain.Explain(ctx, res, explain.Options{
+			Legacy:          req.LegacyKernel,
+			Model:           model,
+			TopN:            req.Top,
+			CutLimit:        req.CutLimit,
+			SkipAttribution: req.SkipAttribution,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return encodeResponse("/api/v1/explain", rep)
+	}
+	if c == nil || genKey == "" {
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return v.(*encodedResponse), nil
+	}
+	key := fmt.Sprintf("explain|%s|model=%s|top=%d|cut=%d|legacy=%t|skipattr=%t",
+		genKey, model, req.Top, req.CutLimit, req.LegacyKernel, req.SkipAttribution)
+	v, _, err := c.Do(ctx, key, compute)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*encodedResponse), nil
 }
