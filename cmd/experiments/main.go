@@ -8,9 +8,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend]
+//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend|whatif]
 //	            [-bench-out BENCH_cache.json] [-pathdisc-out BENCH_pathdisc.json]
-//	            [-depend-out BENCH_depend.json] [-smoke]
+//	            [-depend-out BENCH_depend.json] [-whatif-out BENCH_whatif.json] [-smoke]
 package main
 
 import (
@@ -33,11 +33,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend)")
+	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend, whatif)")
 	flag.StringVar(&benchOut, "bench-out", "BENCH_cache.json", "file for the cache experiment's JSON record (empty disables)")
 	flag.StringVar(&pathdiscOut, "pathdisc-out", "BENCH_pathdisc.json", "file for the pathdisc experiment's JSON record (empty disables)")
 	flag.StringVar(&dependOut, "depend-out", "BENCH_depend.json", "file for the depend experiment's JSON record (empty disables)")
-	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend experiment to a CI-sized sanity run")
+	flag.StringVar(&whatifOut, "whatif-out", "BENCH_whatif.json", "file for the whatif experiment's JSON record (empty disables)")
+	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend and whatif experiments to CI-sized sanity runs")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -75,6 +76,7 @@ func experimentsList() []experiment {
 		{"cache", "Extension — content-addressed cache & concurrent discovery", expCache},
 		{"pathdisc", "Extension — compiled CSR kernel vs map-based discovery", expPathdisc},
 		{"depend", "Extension — compiled dependability kernel vs map-based analysis", expDepend},
+		{"whatif", "Extension — live-topology patching vs cold recompilation", expWhatIf},
 	}
 }
 

@@ -84,7 +84,25 @@ func TestExperimentListComplete(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	if len(seen) != 22 {
-		t.Errorf("experiments = %d, want 22", len(seen))
+	if len(seen) != 23 {
+		t.Errorf("experiments = %d, want 23", len(seen))
+	}
+}
+
+// TestWhatIfSmoke runs the what-if benchmark in its CI shape: tiny windows,
+// no artifact file. It guards the harness (workload construction, victim
+// selection, both update paths), not the speedup figures.
+func TestWhatIfSmoke(t *testing.T) {
+	oldSmoke, oldOut := dependSmoke, whatifOut
+	dependSmoke, whatifOut = true, ""
+	defer func() { dependSmoke, whatifOut = oldSmoke, oldOut }()
+	out, err := captureRun(t, "whatif")
+	if err != nil {
+		t.Fatalf("run(whatif): %v", err)
+	}
+	for _, m := range []string{"patch floor", "mesh n=8", "fat-tree k=4"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("whatif output missing %q in:\n%s", m, out)
+		}
 	}
 }

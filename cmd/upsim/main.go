@@ -20,6 +20,9 @@
 //	                 -mapping table1.xml [-json]
 //	upsim lint       -casestudy
 //	upsim batch      -req requests.json [-workers 4] [-cache-size 128] [-out resp.json]
+//	upsim whatif     -model usi.xml -diagram infrastructure -service printing \
+//	                 -mapping table1.xml [-fail p2,d4] [-fail-link t1--e1] [-top 10] [-json] [-trace]
+//	upsim whatif     -casestudy -fail printS
 //
 // The -trace flag on paths, generate, avail and explain prints the pipeline
 // span tree (one span per methodology step, with wall times and attributes)
@@ -108,6 +111,8 @@ func run(args []string) error {
 		return cmdProject(args[1:])
 	case "batch":
 		return cmdBatch(args[1:])
+	case "whatif":
+		return cmdWhatIf(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -132,6 +137,7 @@ commands:
   rbd         generate and render the reliability block diagram of a UPSIM
   project     init or inspect a workspace directory (model + mappings + patterns)
   batch       execute a JSON batch request file through the shared generation cache
+  whatif      failure impact and critical-component ranking on the live topology
 
 run 'upsim <command> -h' for per-command flags`)
 }
@@ -848,5 +854,143 @@ func cmdRBD(args []string) error {
 	}
 	fmt.Printf("# device-only RBD availability (independence assumption): %.10f\n", a)
 	fmt.Println("# use 'upsim avail' for the exact analysis including connectors")
+	return nil
+}
+
+// cmdWhatIf drives the live-topology what-if engine from the command line:
+// generate the service, register it with the engine, and answer "what if
+// these components or links fail?" plus the critical-component ranking.
+// The numbers match POST /api/v1/whatif for the same inputs.
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model XML file")
+	diagram := fs.String("diagram", "", "infrastructure object diagram name")
+	svcName := fs.String("service", "", "activity name of the composite service")
+	mappingPath := fs.String("mapping", "", "service mapping XML file")
+	caseStudy := fs.Bool("casestudy", false, "analyse the built-in USI case study (printing service, Table I mapping)")
+	fail := fs.String("fail", "", "comma-separated failed components (node names or a--b#edge link ids)")
+	failLink := fs.String("fail-link", "", "comma-separated failed links by endpoints (a--b, all parallel edges)")
+	top := fs.Int("top", 10, "rows of the critical-component ranking (0 = all)")
+	cutLimit := fs.Int("cutlimit", 0, "cut-set expansion budget for the importance join (0 = default)")
+	formula1 := fs.Bool("formula1", false, "use the paper's Formula 1 instead of the exact component availability")
+	jsonOut := fs.Bool("json", false, "emit the reports as JSON instead of text")
+	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		m   *upsim.Model
+		svc *upsim.Composite
+		mp  *upsim.Mapping
+		err error
+	)
+	if *caseStudy {
+		if m, err = upsim.USIModel(); err != nil {
+			return err
+		}
+		if svc, err = upsim.USIPrintingService(m); err != nil {
+			return err
+		}
+		mp = upsim.USITableIMapping()
+		*diagram = upsim.USIDiagramName
+		if *svcName == "" {
+			*svcName = "printing"
+		}
+	} else {
+		if *modelPath == "" || *diagram == "" || *svcName == "" || *mappingPath == "" {
+			return fmt.Errorf("whatif: -model, -diagram, -service and -mapping are required (or use -casestudy)")
+		}
+		if m, err = loadModel(*modelPath); err != nil {
+			return err
+		}
+		act, ok := m.Activity(*svcName)
+		if !ok {
+			return fmt.Errorf("whatif: model has no activity %q", *svcName)
+		}
+		if svc, err = upsim.ServiceFromActivity(act); err != nil {
+			return err
+		}
+		if mp, err = loadMapping(*mappingPath); err != nil {
+			return err
+		}
+	}
+	ctx, printTrace := traceSpan(*trace, "upsim.whatif")
+	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
+	if err != nil {
+		return err
+	}
+	res, err := gen.GenerateContext(ctx, svc, mp, *svcName, upsim.Options{})
+	if err != nil {
+		return err
+	}
+	model := upsim.ModelExact
+	if *formula1 {
+		model = upsim.ModelFormula1
+	}
+	eng := upsim.NewWhatIfEngine(gen.Graph(), nil)
+	if err := eng.Register(*svcName, "", res, model); err != nil {
+		return err
+	}
+
+	failure := upsim.WhatIfFailure{}
+	for _, c := range strings.Split(*fail, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			failure.Components = append(failure.Components, c)
+		}
+	}
+	for _, l := range strings.Split(*failLink, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			failure.Links = append(failure.Links, l)
+		}
+	}
+	var impact *upsim.WhatIfImpact
+	if len(failure.Components) > 0 || len(failure.Links) > 0 {
+		if impact, err = eng.Impact(failure); err != nil {
+			return err
+		}
+	}
+	crit, err := eng.Critical(ctx, *top, *cutLimit)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Impact   *upsim.WhatIfImpact       `json:"impact,omitempty"`
+			Critical []upsim.CriticalComponent `json:"critical"`
+		}{impact, crit}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		printTrace()
+		return nil
+	}
+	if impact != nil {
+		fmt.Printf("failure impact (failed: %s)\n", strings.Join(impact.Failed, ", "))
+		for _, d := range impact.Services {
+			switch {
+			case d.Dead:
+				fmt.Printf("  %-16s %.10f -> DEAD (service cannot work)\n", d.Service, d.Baseline)
+			case d.Affected:
+				fmt.Printf("  %-16s %.10f -> %.10f (delta %+.3e)\n", d.Service, d.Baseline, d.Failed, d.Delta)
+			default:
+				fmt.Printf("  %-16s %.10f (unaffected)\n", d.Service, d.Baseline)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("critical components (top %d):\n", len(crit))
+	fmt.Printf("  %-28s %-12s %-5s %-6s %-12s %s\n", "component", "class", "spof", "pairs", "birnbaum", "services")
+	for _, cc := range crit {
+		spof := "-"
+		if cc.SinglePointOfFailure {
+			spof = "YES"
+		}
+		fmt.Printf("  %-28s %-12s %-5s %-6d %.4e   %s\n",
+			cc.Component, cc.Class, spof, cc.PairCuts, cc.Birnbaum, strings.Join(cc.Services, ","))
+	}
+	printTrace()
 	return nil
 }

@@ -1,0 +1,105 @@
+package upsim_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docsFiles are the markdown surfaces whose links must not rot: the README
+// route table points into docs/API.md, the tutorial points back, and both
+// point at DESIGN.md / EXPERIMENTS.md sections. CI runs this as part of the
+// docs job; it is tier-1 like everything else.
+func docsFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingAnchors returns the GitHub-style anchor slugs of every markdown
+// heading in src, skipping fenced code blocks (a `# comment` inside a sh
+// block is not a heading).
+func headingAnchors(src string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+				b.WriteRune(r)
+			case r == ' ' || r == '-':
+				b.WriteByte('-')
+			}
+		}
+		anchors[b.String()] = true
+	}
+	return anchors
+}
+
+// TestDocsRelativeLinks checks every relative markdown link in the doc
+// surfaces: the target file must exist, and when the link carries a
+// #fragment, the target must contain a heading with that anchor.
+func TestDocsRelativeLinks(t *testing.T) {
+	cache := map[string]map[string]bool{}
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := cache[path]; ok {
+			return a, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(data))
+		cache[path] = a
+		return a, nil
+	}
+	for _, file := range docsFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this test's business
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			anchors, err := anchorsOf(resolved)
+			if err != nil {
+				t.Errorf("%s: link %q: %v", file, target, err)
+				continue
+			}
+			if !anchors[frag] {
+				t.Errorf("%s: link %q: no heading with anchor #%s in %s", file, target, frag, resolved)
+			}
+		}
+	}
+}

@@ -90,7 +90,7 @@ func ExampleNewCache() {
 	fmt.Println(gen.Cache().Stats())
 	// Output:
 	// shared result: true
-	// hits=1 misses=1 shared=0 evictions=0 entries=1/64
+	// hits=1 misses=1 shared=0 evictions=0 invalidations=0 entries=1/64
 }
 
 // ExampleGenerator_WithCache fans concurrent identical requests through one
@@ -139,4 +139,43 @@ func ExampleCacheStats() {
 	// hits: 1
 	// misses: 2
 	// entries: 2
+}
+
+// ExampleWhatIf asks the one-shot transient question: what happens to the
+// printing service if the print server fails?
+func ExampleWhatIf() {
+	m, _ := upsim.USIModel()
+	svc, _ := upsim.USIPrintingService(m)
+	gen, _ := upsim.NewGenerator(m, upsim.USIDiagramName)
+	res, _ := gen.Generate(svc, upsim.USITableIMapping(), "printing", upsim.Options{})
+
+	impact, _ := upsim.WhatIf(gen.Graph(), map[string]*upsim.Result{"printing": res},
+		upsim.ModelExact, upsim.WhatIfFailure{Components: []string{"printS"}})
+
+	d := impact.Services[0]
+	fmt.Println("affected:", d.Affected)
+	fmt.Println("availability with printS down:", d.Failed)
+	// Output:
+	// affected: true
+	// availability with printS down: 0
+}
+
+// ExampleNewWhatIfEngine applies a permanent topology change: the engine
+// patches the compiled kernels in place and reports the new availability.
+func ExampleNewWhatIfEngine() {
+	m, _ := upsim.USIModel()
+	svc, _ := upsim.USIPrintingService(m)
+	gen, _ := upsim.NewGenerator(m, upsim.USIDiagramName)
+	res, _ := gen.Generate(svc, upsim.USITableIMapping(), "printing", upsim.Options{})
+
+	eng := upsim.NewWhatIfEngine(gen.Graph(), nil)
+	_ = eng.Register("printing", "", res, upsim.ModelExact)
+
+	rep, _ := eng.Apply(upsim.WhatIfDelta{Op: upsim.WhatIfRemoveNode, Node: "p2"})
+	d := rep.Services[0]
+	fmt.Println("dead:", d.Dead)
+	fmt.Println("patch ops:", rep.PatchOps > 0)
+	// Output:
+	// dead: true
+	// patch ops: true
 }

@@ -13,10 +13,19 @@
 // memoizing the (model, service, mapping, options) tuple converts the
 // common repeated request into a hash lookup.
 //
+// Entries leave the cache three ways: LRU eviction when the bound is hit,
+// Purge (drop everything), and — since the live-topology what-if engine
+// (DESIGN.md §13) — targeted invalidation via Remove/RemoveMatching.
+// Derived analysis keys ("avail|<genKey>|…", "qos|<genKey>|…",
+// "explain|<genKey>|…") embed the generation content hash of the UPSIM they
+// were computed from, so a RemoveMatching predicate that matches on the
+// hash evicts a stale generation together with every analysis derived from
+// it, while unrelated generations stay warm.
+//
 // Every cache feeds the process-wide obs counters
-// (upsim_cache_{hits,misses,evictions,singleflight_shared}_total), which
-// upsimd exposes on GET /metrics; per-instance numbers are available via
-// Stats.
+// (upsim_cache_{hits,misses,evictions,singleflight_shared,invalidations}_total),
+// which upsimd exposes on GET /metrics; per-instance numbers are available
+// via Stats.
 package cache
 
 import (
@@ -34,10 +43,11 @@ const DefaultMaxEntries = 128
 // Process-wide cache metrics, aggregated over every Cache instance (the
 // daemon runs exactly one; tests may run many).
 var (
-	mHits      = obs.NewCounter("upsim_cache_hits_total", "Generation cache hits.")
-	mMisses    = obs.NewCounter("upsim_cache_misses_total", "Generation cache misses (results computed).")
-	mEvictions = obs.NewCounter("upsim_cache_evictions_total", "Generation cache LRU evictions.")
-	mShared    = obs.NewCounter("upsim_cache_singleflight_shared_total", "Requests that joined an in-flight identical computation.")
+	mHits          = obs.NewCounter("upsim_cache_hits_total", "Generation cache hits.")
+	mMisses        = obs.NewCounter("upsim_cache_misses_total", "Generation cache misses (results computed).")
+	mEvictions     = obs.NewCounter("upsim_cache_evictions_total", "Generation cache LRU evictions.")
+	mShared        = obs.NewCounter("upsim_cache_singleflight_shared_total", "Requests that joined an in-flight identical computation.")
+	mInvalidations = obs.NewCounter("upsim_cache_invalidations_total", "Entries removed by explicit invalidation (Remove/RemoveMatching).")
 )
 
 // init materialises every series at zero so /metrics always exposes the
@@ -47,6 +57,7 @@ func init() {
 	mMisses.With().Add(0)
 	mEvictions.With().Add(0)
 	mShared.With().Add(0)
+	mInvalidations.With().Add(0)
 }
 
 // Outcome classifies how Do obtained its value.
@@ -85,6 +96,9 @@ type Stats struct {
 	Shared uint64 `json:"shared"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries dropped by explicit Remove/RemoveMatching
+	// (the what-if engine's targeted cache invalidation).
+	Invalidations uint64 `json:"invalidations"`
 	// Entries is the current number of cached values.
 	Entries int `json:"entries"`
 	// MaxEntries is the configured capacity.
@@ -93,8 +107,8 @@ type Stats struct {
 
 // String renders the snapshot as a one-line summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d shared=%d evictions=%d entries=%d/%d",
-		s.Hits, s.Misses, s.Shared, s.Evictions, s.Entries, s.MaxEntries)
+	return fmt.Sprintf("hits=%d misses=%d shared=%d evictions=%d invalidations=%d entries=%d/%d",
+		s.Hits, s.Misses, s.Shared, s.Evictions, s.Invalidations, s.Entries, s.MaxEntries)
 }
 
 // call is one in-flight computation that waiters share.
@@ -114,7 +128,7 @@ type Cache struct {
 	entries    map[string]*list.Element // key → element holding *entry
 	inflight   map[string]*call
 
-	hits, misses, shared, evictions uint64
+	hits, misses, shared, evictions, invalidations uint64
 }
 
 // entry is one stored key/value pair (the list element payload).
@@ -226,6 +240,50 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	return cl.val, OutcomeMiss, cl.err
 }
 
+// Remove drops the entry stored under key, reporting whether one existed.
+// In-flight computations for the key are unaffected (they re-populate on
+// completion — callers that need stronger guarantees serialise mutations
+// against computations, as the what-if engine does). Counts toward
+// upsim_cache_invalidations_total.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, key)
+	c.invalidations++
+	mInvalidations.With().Inc()
+	return true
+}
+
+// RemoveMatching drops every entry whose key satisfies pred and returns the
+// number removed. This is the targeted-invalidation primitive behind the
+// live-topology what-if engine (DESIGN.md §13): derived analysis keys embed
+// the generation content hash, so a predicate matching on that hash evicts
+// a generation and all of its derived entries — and nothing else. Counts
+// toward upsim_cache_invalidations_total.
+func (c *Cache) RemoveMatching(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, el := range c.entries {
+		if !pred(key) {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		removed++
+	}
+	if removed > 0 {
+		c.invalidations += uint64(removed)
+		mInvalidations.With().Add(uint64(removed))
+	}
+	return removed
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -247,11 +305,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Shared:     c.shared,
-		Evictions:  c.evictions,
-		Entries:    c.ll.Len(),
-		MaxEntries: c.maxEntries,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Shared:        c.shared,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		MaxEntries:    c.maxEntries,
 	}
 }

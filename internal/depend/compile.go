@@ -194,7 +194,8 @@ type CompiledStructure struct {
 	words   int              // bitset width: ceil(len(names)/64)
 	atomics []compiledAtomic
 
-	validErr error // Validate() result of the source structure, if any
+	validErr  error // Validate() result of the source structure, if any
+	patchDead bool  // validErr was induced by PatchRemoveComponent (see patch.go)
 
 	pool sync.Pool // *bitArena
 }

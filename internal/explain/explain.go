@@ -18,6 +18,9 @@
 //   - UPSIM validation: check a cached generation against the current
 //     topology (every path node and link still present, stereotype values
 //     unchanged) and report stale entries with the reason (validate.go).
+//     The what-if engine (internal/whatif) uses these fingerprints as its
+//     freshness gate: a stale verdict evicts the generation's cached
+//     response family and fails POST /api/v1/whatif with a structured 409.
 //
 // Explain runs on either dependability kernel (compiled bitset or legacy
 // map); the reports are identical either way, pinned by the kernel-parity

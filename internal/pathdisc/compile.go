@@ -71,10 +71,14 @@ type Compiled struct {
 	colEdge  []int32
 
 	numEdges  int
+	liveNodes int // names minus tombstoned slots (see patch.go)
 	maxDegree int
 	branching float64 // mean adjacency entries per node (2E/N)
 
-	pool sync.Pool // *scratch
+	// pool holds *scratch sized for the current node count. It is a pointer
+	// so PatchAddNode can swap in a freshly-sized pool when the node count
+	// grows (assigning a sync.Pool value would copy its internal lock).
+	pool *sync.Pool
 }
 
 // scratch is the reusable per-enumeration state: the visited bitset, the
@@ -161,27 +165,20 @@ func Compile(g *topology.Graph) *Compiled {
 			c.colStart[i+1] = int32(len(c.colNode))
 		}
 	}
+	c.liveNodes = n
 	if n > 0 {
 		c.branching = float64(total) / float64(n)
 	}
-	words := (n + 63) / 64
-	c.pool.New = func() any {
-		return &scratch{
-			visited: make([]uint64, words),
-			dist:    make([]int32, n),
-			queue:   make([]int32, 0, n),
-			nodes:   make([]int32, 0, 16),
-			edges:   make([]int32, 0, 16),
-		}
-	}
+	c.resetPool()
 	mCompile.With().Inc()
 	mCompiledNodes.With().Set(int64(n))
 	mCompiledEdges.With().Set(int64(c.numEdges))
 	return c
 }
 
-// NumNodes returns the compiled node count.
-func (c *Compiled) NumNodes() int { return len(c.names) }
+// NumNodes returns the compiled node count (excluding slots tombstoned by
+// PatchRemoveNode).
+func (c *Compiled) NumNodes() int { return c.liveNodes }
 
 // NumEdges returns the compiled edge count (parallel edges counted).
 func (c *Compiled) NumEdges() int { return c.numEdges }
@@ -193,6 +190,24 @@ func (c *Compiled) Branching() float64 { return c.branching }
 
 // MaxDegree returns the largest node degree.
 func (c *Compiled) MaxDegree() int { return c.maxDegree }
+
+// resetPool installs a scratch pool sized for the current node count.
+// Called by Compile and again by PatchAddNode when the universe grows (the
+// visited bitset and dist table are indexed by dense node ID, so old
+// scratch would be too small).
+func (c *Compiled) resetPool() {
+	n := len(c.names)
+	words := (n + 63) / 64
+	c.pool = &sync.Pool{New: func() any {
+		return &scratch{
+			visited: make([]uint64, words),
+			dist:    make([]int32, n),
+			queue:   make([]int32, 0, n),
+			nodes:   make([]int32, 0, 16),
+			edges:   make([]int32, 0, 16),
+		}
+	}}
+}
 
 // getScratch takes a clean scratch from the pool.
 func (c *Compiled) getScratch() *scratch { return c.pool.Get().(*scratch) }

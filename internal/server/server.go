@@ -23,8 +23,12 @@
 //	POST /api/v1/lint                  static-analysis report for model, service and mapping
 //	POST /api/v1/batch                 many generate/availability/qos items, fanned
 //	                                   out across a worker pool through the shared cache
+//	POST /api/v1/whatif                live-topology what-if: failure impact, permanent
+//	                                   topology deltas with targeted cache invalidation,
+//	                                   critical-component ranking (internal/whatif)
 //
-// This table is mirrored in README.md ("HTTP API"); update both together.
+// This table is mirrored in README.md ("HTTP API") and fully specified in
+// docs/API.md; update all of them together.
 //
 // The generation-backed routes (generate, availability, qos, batch) run
 // through one shared internal/cache.Cache (capacity Config.CacheSize):
@@ -111,6 +115,7 @@ func NewWithConfig(cfg Config) http.Handler {
 	handle("POST /api/v1/explain", "/api/v1/explain", a.handleExplain)
 	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
 	handle("POST /api/v1/batch", "/api/v1/batch", a.handleBatch)
+	handle("POST /api/v1/whatif", "/api/v1/whatif", a.handleWhatIf)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux

@@ -1,0 +1,234 @@
+package server
+
+// POST /api/v1/whatif — the HTTP face of the live-topology what-if engine
+// (internal/whatif, DESIGN.md §13). The route is stateless like the rest of
+// the API: the model and the service registrations travel in the request,
+// the engine is assembled per call on top of the shared generation cache
+// (so repeated registrations of unchanged services are hash lookups), and
+// the response carries per-service availability deltas, targeted cache
+// invalidation counts, and the critical-component ranking.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"upsim/internal/depend"
+	"upsim/internal/uml"
+	"upsim/internal/whatif"
+)
+
+// What-if modes: transient failure analysis, permanent topology change, and
+// critical-component ranking.
+const (
+	WhatIfModeFailure  = "failure"
+	WhatIfModeApply    = "apply"
+	WhatIfModeCritical = "critical"
+)
+
+// whatifServiceInput registers one composite service with the engine.
+type whatifServiceInput struct {
+	// Service names an activity of the model.
+	Service string `json:"service"`
+	// MappingXML is the Figure 3 mapping document for this service.
+	MappingXML string `json:"mappingXml"`
+	// Name names the registration (default: the activity name).
+	Name string `json:"name,omitempty"`
+}
+
+// whatifRequest drives one engine invocation.
+type whatifRequest struct {
+	modelInput
+	// Services lists the composite services to register; each is generated
+	// through the shared cache before the engine runs.
+	Services []whatifServiceInput `json:"services"`
+	// Mode selects the question: "failure" (default; transient), "apply"
+	// (permanent change), or "critical" (ranking only).
+	Mode string `json:"mode,omitempty"`
+	// Failure names the failed components/links for mode "failure".
+	Failure whatif.Failure `json:"failure,omitempty"`
+	// Deltas lists the topology mutations for mode "apply".
+	Deltas []whatif.Delta `json:"deltas,omitempty"`
+	// Top bounds the critical-component ranking (0 disables the ranking for
+	// modes "failure"/"apply"; mode "critical" defaults to everything).
+	Top int `json:"top,omitempty"`
+	// CutLimit bounds the per-service attribution's cut-set expansion
+	// backing the ranking's importance join; exceeding it yields the
+	// structured 422 budget error.
+	CutLimit int `json:"cutLimit,omitempty"`
+	// Formula1 selects the paper's approximation for component
+	// availability.
+	Formula1 bool `json:"formula1,omitempty"`
+	// CurrentModelXML, when set, is fingerprint-checked against every
+	// registration (explain.Validate) before the engine answers: any stale
+	// generation fails the request with 409 and self-invalidates its cache
+	// entries.
+	CurrentModelXML string `json:"currentModelXml,omitempty"`
+	// CurrentDiagram names the current topology diagram (defaults to the
+	// request diagram name).
+	CurrentDiagram string `json:"currentDiagram,omitempty"`
+}
+
+// whatifResponse is the 200 body.
+type whatifResponse struct {
+	Mode string `json:"mode"`
+	// Services is the engine's registration view (baselines, staleness).
+	Services []whatif.ServiceStatus `json:"services"`
+	// Impact is set for mode "failure".
+	Impact *whatif.ImpactReport `json:"impact,omitempty"`
+	// Apply is set for mode "apply".
+	Apply *whatif.ApplyReport `json:"apply,omitempty"`
+	// Critical is the ranking (mode "critical", or any mode with top > 0).
+	Critical []whatif.CriticalComponent `json:"critical,omitempty"`
+	// Validations reports the freshness check when currentModelXml was
+	// given (every entry fresh, or the request would have been a 409).
+	Validations []whatif.ServiceValidation `json:"validations,omitempty"`
+}
+
+// staleGenerationResponse is the 409 body: the topology drifted underneath
+// at least one registered generation.
+type staleGenerationResponse struct {
+	errorResponse
+	// Validations carries the per-service freshness verdicts with the
+	// concrete drift issues.
+	Validations []whatif.ServiceValidation `json:"validations"`
+	// InvalidatedKeys counts the cache entries of the stale generations
+	// that were evicted (self-invalidation).
+	InvalidatedKeys int `json:"invalidatedKeys"`
+}
+
+func (a *api) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req whatifRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Services) == 0 {
+		writeError(w, http.StatusBadRequest, "services is required (at least one registration)")
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = WhatIfModeFailure
+	}
+	model := depend.ModelExact
+	if req.Formula1 {
+		model = depend.ModelFormula1
+	}
+
+	// The engine owns the live topology: one generator load gives the graph
+	// the registrations were (re)generated against.
+	_, gen, err := req.load(r.Context())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng := whatif.New(gen.Graph(), a.cache)
+	for _, s := range req.Services {
+		gr := generateRequest{
+			modelInput: req.modelInput,
+			Service:    s.Service,
+			MappingXML: s.MappingXML,
+			Name:       s.Name,
+		}
+		if gr.Name == "" {
+			gr.Name = s.Service
+		}
+		res, genKey, err := gr.generate(r.Context(), a.cache)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "service %q: %v", s.Service, err)
+			return
+		}
+		if err := eng.Register(gr.Name, genKey, res, model); err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+	}
+
+	resp := whatifResponse{Mode: mode}
+
+	// Freshness gate: against a drifted topology the registered generations
+	// are lies; evict them and refuse with the concrete issues.
+	if strings.TrimSpace(req.CurrentModelXML) != "" {
+		cm, err := uml.Decode(strings.NewReader(req.CurrentModelXML))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "current model: %v", err)
+			return
+		}
+		name := req.CurrentDiagram
+		if name == "" {
+			name = req.Diagram
+		}
+		d, ok := cm.Diagram(name)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "current model has no diagram %q", name)
+			return
+		}
+		vals, evicted, err := eng.Revalidate(r.Context(), d)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		stale := 0
+		for _, v := range vals {
+			if !v.Fresh {
+				stale++
+			}
+		}
+		if stale > 0 {
+			writeJSON(w, http.StatusConflict, staleGenerationResponse{
+				errorResponse:   errorResponse{Error: fmtStale(stale, len(vals))},
+				Validations:     vals,
+				InvalidatedKeys: evicted,
+			})
+			return
+		}
+		resp.Validations = vals
+	}
+
+	switch mode {
+	case WhatIfModeFailure:
+		impact, err := eng.Impact(req.Failure)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		resp.Impact = impact
+	case WhatIfModeApply:
+		if len(req.Deltas) == 0 {
+			writeError(w, http.StatusBadRequest, "mode %q needs at least one delta", mode)
+			return
+		}
+		rep, err := eng.Apply(req.Deltas...)
+		if err != nil {
+			writeAnalysisError(w, err)
+			return
+		}
+		resp.Apply = rep
+	case WhatIfModeCritical:
+		// Ranking handled below for every mode.
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want %q, %q or %q)",
+			mode, WhatIfModeFailure, WhatIfModeApply, WhatIfModeCritical)
+		return
+	}
+
+	if mode == WhatIfModeCritical || req.Top > 0 {
+		crit, err := eng.Critical(r.Context(), req.Top, req.CutLimit)
+		if err != nil {
+			// The importance join expands minimal cut sets under the
+			// request's budget: overflow surfaces as the structured 422,
+			// never a bare 500.
+			writeAnalysisError(w, err)
+			return
+		}
+		resp.Critical = crit
+	}
+
+	resp.Services = eng.Services()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fmtStale renders the 409 summary line.
+func fmtStale(stale, total int) string {
+	return fmt.Sprintf("%d of %d registered generations are stale against the current topology", stale, total)
+}

@@ -56,11 +56,22 @@ func (e Edge) Other(name string) string {
 }
 
 // Graph is an undirected multigraph. The zero value is not usable; call New.
+//
+// Graphs are mutable: nodes and edges can be added at any time, and — since
+// the live-topology what-if engine (DESIGN.md §13) — removed again via
+// RemoveNode/RemoveEdge (see delta.go). Removal tombstones the edge slot so
+// edge IDs stay stable and are never reused; every mutation bumps the
+// Generation counter so compiled views (internal/pathdisc) and caches can
+// detect drift.
 type Graph struct {
 	nodes map[string]Node
 	order []string
 	edges []Edge
 	adj   map[string][]int // node -> incident edge IDs, insertion order
+
+	dead       []bool // parallel to edges; true = removed (tombstoned slot)
+	liveEdges  int
+	generation uint64 // bumped by every mutation
 }
 
 // New creates an empty graph.
@@ -81,6 +92,7 @@ func (g *Graph) AddNode(name, class string) error {
 	}
 	g.nodes[name] = Node{Name: name, Class: class}
 	g.order = append(g.order, name)
+	g.generation++
 	return nil
 }
 
@@ -99,8 +111,11 @@ func (g *Graph) AddEdge(a, b, label string) (int, error) {
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, A: a, B: b, Label: label})
+	g.dead = append(g.dead, false)
 	g.adj[a] = append(g.adj[a], id)
 	g.adj[b] = append(g.adj[b], id)
+	g.liveEdges++
+	g.generation++
 	return id, nil
 }
 
@@ -133,18 +148,23 @@ func (g *Graph) NodeNames() []string {
 	return out
 }
 
-// Edge returns the edge with the given ID.
+// Edge returns the edge with the given ID. Removed edges report !ok.
 func (g *Graph) Edge(id int) (Edge, bool) {
-	if id < 0 || id >= len(g.edges) {
+	if id < 0 || id >= len(g.edges) || g.dead[id] {
 		return Edge{}, false
 	}
 	return g.edges[id], true
 }
 
-// Edges returns all edges in insertion order.
+// Edges returns the live edges in insertion order. Edge IDs are stable
+// across removals, so after a RemoveEdge the IDs need not be contiguous.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, len(g.edges))
-	copy(out, g.edges)
+	out := make([]Edge, 0, g.liveEdges)
+	for i, e := range g.edges {
+		if !g.dead[i] {
+			out = append(out, e)
+		}
+	}
 	return out
 }
 
@@ -172,8 +192,8 @@ func (g *Graph) Neighbors(name string) []string {
 // NumNodes returns the node count.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
-// NumEdges returns the edge count (parallel edges counted).
-func (g *Graph) NumEdges() int { return len(g.edges) }
+// NumEdges returns the live edge count (parallel edges counted).
+func (g *Graph) NumEdges() int { return g.liveEdges }
 
 // Connected reports whether the graph is connected (an empty graph is
 // connected by convention).
@@ -208,8 +228,8 @@ func (g *Graph) InducedSubgraph(keep map[string]bool) *Graph {
 			_ = sub.AddNode(node.Name, node.Class)
 		}
 	}
-	for _, e := range g.edges {
-		if keep[e.A] && keep[e.B] {
+	for i, e := range g.edges {
+		if !g.dead[i] && keep[e.A] && keep[e.B] {
 			_, _ = sub.AddEdge(e.A, e.B, e.Label)
 		}
 	}

@@ -1,0 +1,500 @@
+package whatif
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"upsim/internal/cache"
+	"upsim/internal/casestudy"
+	"upsim/internal/core"
+	"upsim/internal/depend"
+	"upsim/internal/topology"
+	"upsim/internal/uml"
+)
+
+// fixture is one independent build of the USI case study with the printing
+// (t1 → printS → p2) and backup (t7 → backupS → file servers) composite
+// services generated. Each call builds a fresh model, so tests that mutate
+// the shared topology do not interfere.
+type fixture struct {
+	model    *uml.Model
+	graph    *topology.Graph
+	printing *core.Result
+	backup   *core.Result
+}
+
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	m, err := casestudy.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := core.NewGenerator(m, casestudy.DiagramName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psvc, err := casestudy.PrintingService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printing, err := gen.Generate(psvc, casestudy.TableIMapping(), "print-t1", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsvc, err := casestudy.BackupService(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := gen.Generate(bsvc, casestudy.BackupMapping(), "backup-t7", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{model: m, graph: gen.Graph(), printing: printing, backup: backup}
+}
+
+func newEngine(t *testing.T, f *fixture, c *cache.Cache) *Engine {
+	t.Helper()
+	e := New(f.graph, c)
+	if err := e.Register("printing", "genP", f.printing, depend.ModelExact); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("backup", "genB", f.backup, depend.ModelExact); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func delta(t *testing.T, rep []ServiceDelta, service string) ServiceDelta {
+	t.Helper()
+	for _, d := range rep {
+		if d.Service == service {
+			return d
+		}
+	}
+	t.Fatalf("service %q missing from report %+v", service, rep)
+	return ServiceDelta{}
+}
+
+func TestImpactTransient(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+
+	// Killing the printer takes the printing service to zero and leaves the
+	// backup service untouched.
+	rep, err := e.Impact(Failure{Components: []string{"p2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := delta(t, rep.Services, "printing")
+	if !p.Affected || p.Failed != 0 || p.Delta != -p.Baseline {
+		t.Fatalf("printing under p2 failure = %+v, want affected, failed 0", p)
+	}
+	b := delta(t, rep.Services, "backup")
+	if b.Affected || b.Failed != b.Baseline || b.Delta != 0 {
+		t.Fatalf("backup under p2 failure = %+v, want unaffected", b)
+	}
+
+	// Impact is transient: asking again gives the same answer, and the
+	// baseline is unchanged.
+	rep2, err := e.Impact(Failure{Components: []string{"p2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta(t, rep2.Services, "printing") != p {
+		t.Fatalf("second Impact differs: %+v vs %+v", rep2.Services, rep.Services)
+	}
+
+	if _, err := e.Impact(Failure{}); err == nil {
+		t.Fatal("empty failure accepted")
+	}
+	if _, err := e.Impact(Failure{Links: []string{"nosuch--pair"}}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := e.Impact(Failure{Links: []string{"malformed"}}); err == nil {
+		t.Fatal("malformed link accepted")
+	}
+}
+
+func TestImpactLinkByEndpoints(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+
+	// Fail the first hop of the first discovered printing path, addressed by
+	// its endpoints; this must resolve to the same components as the fully
+	// qualified link ids.
+	p0 := f.printing.Services[0].Paths[0]
+	a, b, id := p0.Nodes[0], p0.Nodes[1], p0.Edges[0]
+	byEndpoints, err := e.Impact(Failure{Links: []string{a + "--" + b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := f.graph.EdgesBetween(a, b)
+	comps := make([]string, 0, len(ids))
+	for _, eid := range ids {
+		comps = append(comps, depend.LinkComponentID(a, b, eid))
+	}
+	byID, err := e.Impact(Failure{Components: comps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, di := delta(t, byEndpoints.Services, "printing"), delta(t, byID.Services, "printing")
+	if dp != di {
+		t.Fatalf("endpoint-addressed failure %+v != id-addressed %+v", dp, di)
+	}
+	if !dp.Affected || dp.Delta >= 0 {
+		t.Fatalf("first-hop failure should reduce availability: %+v", dp)
+	}
+
+	// The fully qualified form passes through resolve untouched.
+	one, err := e.Impact(Failure{Links: []string{depend.LinkComponentID(a, b, id)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := delta(t, one.Services, "printing"); !d.Affected {
+		t.Fatalf("qualified link id did not resolve: %+v", d)
+	}
+}
+
+// TestApplyMatchesImpact pins the core equivalence: permanently removing a
+// component (Apply, in-place kernel patch) must yield exactly the
+// availability that transiently forcing it down (Impact, Shannon
+// conditioning) predicts.
+func TestApplyMatchesImpact(t *testing.T) {
+	p0 := buildFixture(t).printing.Services[0].Paths[0]
+	targets := []Failure{
+		{Components: []string{p0.Nodes[1]}},                 // intermediate device
+		{Links: []string{p0.Nodes[1] + "--" + p0.Nodes[2]}}, // mid-path link(s)
+	}
+	for _, f := range targets {
+		fxA, fxB := buildFixture(t), buildFixture(t)
+		eImpact, eApply := newEngine(t, fxA, nil), newEngine(t, fxB, nil)
+		want, err := eImpact.Impact(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var deltas []Delta
+		for _, c := range f.Components {
+			deltas = append(deltas, Delta{Op: OpRemoveNode, Node: c})
+		}
+		for _, l := range f.Links {
+			a, b, _ := strings.Cut(l, "--")
+			deltas = append(deltas, Delta{Op: OpRemoveLink, A: a, B: b, EdgeID: -1})
+		}
+		got, err := eApply.Apply(deltas...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range want.Services {
+			g := delta(t, got.Services, w.Service)
+			if math.Abs(g.Failed-w.Failed) > 1e-12 || g.Affected != w.Affected {
+				t.Errorf("%v: Apply %s = %+v, Impact predicts %+v", f, w.Service, g, w)
+			}
+		}
+		if got.PatchOps == 0 {
+			t.Errorf("%v: no patch ops recorded", f)
+		}
+	}
+}
+
+func TestApplyRemoveProviderKillsService(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+	rep, err := e.Apply(Delta{Op: OpRemoveNode, Node: "p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := delta(t, rep.Services, "printing")
+	if !p.Dead || p.Failed != 0 {
+		t.Fatalf("printing after provider removal = %+v, want dead", p)
+	}
+	if b := delta(t, rep.Services, "backup"); b.Affected || b.Dead {
+		t.Fatalf("backup disturbed by p2 removal: %+v", b)
+	}
+	// The topology really changed.
+	if f.graph.HasNode("p2") {
+		t.Fatal("p2 still in graph")
+	}
+	// A dead service stays dead under further transient queries, without
+	// failing the whole report.
+	imp, err := e.Impact(Failure{Components: []string{"t7"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := delta(t, imp.Services, "printing"); !d.Dead || d.Failed != 0 {
+		t.Fatalf("dead service delta = %+v", d)
+	}
+}
+
+// TestApplyInvalidatesOnlyAffectedGenerations is the acceptance test for
+// targeted cache invalidation: a delta touching only the printing service
+// must evict the genP key family and leave every genB entry warm.
+func TestApplyInvalidatesOnlyAffectedGenerations(t *testing.T) {
+	f := buildFixture(t)
+	c := cache.New(32)
+	keys := []string{
+		"genP",
+		"avail|genP|model=exact",
+		"explain|genP|model=exact|top=5",
+		"genB",
+		"avail|genB|model=exact",
+		"qos|genB|hops=3",
+	}
+	for _, k := range keys {
+		c.Add(k, k)
+	}
+	e := newEngine(t, f, c)
+
+	rep, err := e.Apply(Delta{Op: OpRemoveNode, Node: "p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InvalidatedKeys != 3 {
+		t.Fatalf("InvalidatedKeys = %d, want 3 (the genP family)", rep.InvalidatedKeys)
+	}
+	if len(rep.AffectedGenerations) != 1 || rep.AffectedGenerations[0] != "genP" {
+		t.Fatalf("AffectedGenerations = %v, want [genP]", rep.AffectedGenerations)
+	}
+	for _, k := range keys[:3] {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("affected key %q survived", k)
+		}
+	}
+	for _, k := range keys[3:] {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("unaffected key %q was evicted", k)
+		}
+	}
+}
+
+func TestApplyAddLinkCrossesPatchBoundary(t *testing.T) {
+	f := buildFixture(t)
+	c := cache.New(32)
+	c.Add("avail|genP|model=exact", 1)
+	c.Add("avail|genB|model=exact", 2)
+	e := newEngine(t, f, c)
+
+	// Adding an isolated node affects nothing.
+	rep, err := e.Apply(Delta{Op: OpAddNode, Node: "spare1", Class: "Device"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecompileServices != 0 || rep.InvalidatedKeys != 0 {
+		t.Fatalf("isolated node invalidated something: %+v", rep)
+	}
+
+	// Wiring it into the network can create paths discovery never saw:
+	// every service in the connected component must re-generate.
+	rep, err = e.Apply(Delta{Op: OpAddLink, A: "spare1", B: f.printing.Services[0].Paths[0].Nodes[1], Label: "utp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecompileServices == 0 {
+		t.Fatal("link addition did not mark any service for re-generation")
+	}
+	p := delta(t, rep.Services, "printing")
+	if !p.RecompileRequired {
+		t.Fatalf("printing not marked stale: %+v", p)
+	}
+	if rep.InvalidatedKeys == 0 {
+		t.Fatal("stale generations kept their cache entries")
+	}
+	// Stale services are excluded from analyses until re-registered.
+	imp, err := e.Impact(Failure{Components: []string{"p2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := delta(t, imp.Services, "printing"); !d.RecompileRequired || d.Affected {
+		t.Fatalf("stale service analysed anyway: %+v", d)
+	}
+	var stale int
+	for _, s := range e.Services() {
+		if s.Stale {
+			stale++
+			if s.StaleReason == "" {
+				t.Error("stale service without reason")
+			}
+		}
+	}
+	if stale != rep.RecompileServices {
+		t.Fatalf("Services() reports %d stale, Apply reported %d", stale, rep.RecompileServices)
+	}
+
+	// Re-registering with a fresh generation clears staleness.
+	if err := e.Register("printing", "genP2", f.printing, depend.ModelExact); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range e.Services() {
+		if s.Service == "printing" && s.Stale {
+			t.Fatal("re-registered service still stale")
+		}
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+	if _, err := e.Apply(); err == nil {
+		t.Fatal("empty delta list accepted")
+	}
+	if _, err := e.Apply(Delta{Op: "explode"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := e.Apply(Delta{Op: OpRemoveNode, Node: "nosuch"}); err == nil {
+		t.Fatal("removing unknown node accepted")
+	}
+	if _, err := e.Apply(Delta{Op: OpRemoveLink, A: "t1", B: "p2", EdgeID: -1}); err == nil {
+		t.Fatal("removing non-existent link accepted")
+	}
+}
+
+func TestCriticalRanking(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+	crit, err := e.Critical(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit) == 0 {
+		t.Fatal("no critical components")
+	}
+	// Requester, provider and print server sit on every path of their
+	// services: all three must rank as single points of failure.
+	spof := make(map[string]bool)
+	for _, cc := range crit {
+		if cc.SinglePointOfFailure {
+			spof[cc.Component] = true
+		}
+	}
+	for _, want := range []string{"t1", "p2", "printS"} {
+		if !spof[want] {
+			t.Errorf("%s not ranked as single point of failure (got %v)", want, spof)
+		}
+	}
+	// SPOFs sort before pair-only members, and the join carried the
+	// explain importances for at least the SPOFs.
+	sawPairOnly := false
+	for _, cc := range crit {
+		if !cc.SinglePointOfFailure {
+			sawPairOnly = true
+		} else {
+			if sawPairOnly {
+				t.Fatal("single point of failure ranked below a pair-only member")
+			}
+			if cc.Birnbaum <= 0 {
+				t.Errorf("SPOF %s has Birnbaum %v, want > 0", cc.Component, cc.Birnbaum)
+			}
+		}
+		if len(cc.Services) == 0 {
+			t.Errorf("%s has no services", cc.Component)
+		}
+	}
+	// top bounds the result.
+	top3, err := e.Critical(context.Background(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top3) != 3 {
+		t.Fatalf("Critical(top=3) returned %d", len(top3))
+	}
+}
+
+func TestCriticalBudgetError(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+	_, err := e.Critical(context.Background(), 0, 1)
+	var be *depend.BudgetError
+	if err == nil {
+		t.Skip("cut-set expansion fits in budget 1 on this fixture")
+	}
+	if !errors.As(err, &be) {
+		t.Fatalf("Critical(cutLimit=1) error = %v, want depend.BudgetError", err)
+	}
+}
+
+func TestRevalidate(t *testing.T) {
+	f := buildFixture(t)
+	c := cache.New(32)
+	c.Add("avail|genP|model=exact", 1)
+	c.Add("avail|genB|model=exact", 2)
+	e := newEngine(t, f, c)
+
+	// Against an identical rebuild of the infrastructure, every generation
+	// is fresh and nothing evicts.
+	m2, err := casestudy.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, ok := m2.Diagram(casestudy.DiagramName)
+	if !ok {
+		t.Fatal("case study diagram missing")
+	}
+	vals, evicted, err := e.Revalidate(context.Background(), cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 0 {
+		t.Fatalf("fresh revalidation evicted %d entries", evicted)
+	}
+	for _, v := range vals {
+		if !v.Fresh {
+			t.Fatalf("generation %q stale against identical topology: %+v", v.Service, v.Issues)
+		}
+	}
+
+	// Against a diagram the generations no longer describe, every service
+	// goes stale and its cache family self-invalidates.
+	empty := m2.NewObjectDiagram("drifted")
+	vals, evicted, err = e.Revalidate(context.Background(), empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 2 {
+		t.Fatalf("evicted = %d, want both generations' entries", evicted)
+	}
+	for _, v := range vals {
+		if v.Fresh || len(v.Issues) == 0 {
+			t.Fatalf("generation %q fresh against empty topology", v.Service)
+		}
+	}
+	if _, ok := c.Get("avail|genP|model=exact"); ok {
+		t.Fatal("stale generation entry survived")
+	}
+	for _, s := range e.Services() {
+		if !s.Stale {
+			t.Fatalf("service %q not marked stale", s.Service)
+		}
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	f := buildFixture(t)
+	e := newEngine(t, f, nil)
+	if n := len(e.Services()); n != 2 {
+		t.Fatalf("services = %d", n)
+	}
+	if err := e.Register("printing", "genP-v2", f.printing, depend.ModelExact); err != nil {
+		t.Fatal(err)
+	}
+	ss := e.Services()
+	if len(ss) != 2 {
+		t.Fatalf("re-register duplicated: %d services", len(ss))
+	}
+	found := false
+	for _, s := range ss {
+		if s.Service == "printing" {
+			found = true
+			if s.GenKey != "genP-v2" {
+				t.Fatalf("genKey = %q", s.GenKey)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("printing missing after re-register")
+	}
+	if err := e.Register("bad", "k", &core.Result{}, depend.ModelExact); err == nil {
+		t.Fatal("registering empty result succeeded")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 
 	"upsim/internal/cache"
 	"upsim/internal/casestudy"
@@ -49,6 +50,7 @@ import (
 	"upsim/internal/uml"
 	"upsim/internal/vpm"
 	"upsim/internal/vtcl"
+	"upsim/internal/whatif"
 	"upsim/internal/workspace"
 )
 
@@ -579,3 +581,63 @@ func PathStatisticsOf(paths []Path) PathStatistics { return explain.Statistics(p
 
 // AsBudgetError unwraps a structured analysis-budget error from err.
 func AsBudgetError(err error) (*BudgetError, bool) { return depend.AsBudgetError(err) }
+
+// --- Live-topology what-if engine (internal/whatif) ---
+
+type (
+	// WhatIfEngine owns a live topology and the registered service
+	// generations analysed against it: transient failure impact, permanent
+	// topology deltas with in-place kernel patching and targeted cache
+	// invalidation, critical-component ranking, and freshness
+	// revalidation.
+	WhatIfEngine = whatif.Engine
+	// WhatIfFailure names failed components and/or links for an impact
+	// query.
+	WhatIfFailure = whatif.Failure
+	// WhatIfImpact is the per-service outcome of a transient failure
+	// query.
+	WhatIfImpact = whatif.ImpactReport
+	// WhatIfDelta is one topology mutation (add/remove node/link).
+	WhatIfDelta = whatif.Delta
+	// WhatIfApplyReport is the outcome of a permanent topology change:
+	// patch counts, invalidated cache keys, per-service deltas.
+	WhatIfApplyReport = whatif.ApplyReport
+	// WhatIfServiceDelta is one service's availability delta.
+	WhatIfServiceDelta = whatif.ServiceDelta
+	// CriticalComponent is one entry of the critical-component ranking
+	// (single points of failure, fragile pairs, importance join).
+	CriticalComponent = whatif.CriticalComponent
+)
+
+// Topology delta kinds for WhatIfDelta.Op.
+const (
+	WhatIfAddNode    = whatif.OpAddNode
+	WhatIfRemoveNode = whatif.OpRemoveNode
+	WhatIfAddLink    = whatif.OpAddLink
+	WhatIfRemoveLink = whatif.OpRemoveLink
+)
+
+// NewWhatIfEngine builds a what-if engine over a live topology. c may be
+// nil; when set, permanent changes and revalidation evict exactly the
+// affected generations' cache-key families.
+func NewWhatIfEngine(g *Graph, c *Cache) *WhatIfEngine { return whatif.New(g, c) }
+
+// WhatIf answers the one-shot transient question — "if these components or
+// links fail, what happens to the services?" — over a set of generated
+// results, without mutating anything. It is a convenience wrapper over
+// NewWhatIfEngine + Register + Impact; callers that mutate topology or need
+// targeted cache invalidation use the engine directly.
+func WhatIf(g *Graph, results map[string]*Result, model depend.AvailabilityModel, f WhatIfFailure) (*WhatIfImpact, error) {
+	eng := whatif.New(g, nil)
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := eng.Register(name, "", results[name], model); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Impact(f)
+}
