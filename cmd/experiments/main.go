@@ -8,9 +8,10 @@
 //
 // Usage:
 //
-//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend|whatif]
+//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend|whatif|warm]
 //	            [-bench-out BENCH_cache.json] [-pathdisc-out BENCH_pathdisc.json]
-//	            [-depend-out BENCH_depend.json] [-whatif-out BENCH_whatif.json] [-smoke]
+//	            [-depend-out BENCH_depend.json] [-whatif-out BENCH_whatif.json]
+//	            [-warm-out BENCH_warm.json] [-smoke]
 package main
 
 import (
@@ -33,12 +34,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend, whatif)")
+	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend, whatif, warm)")
 	flag.StringVar(&benchOut, "bench-out", "BENCH_cache.json", "file for the cache experiment's JSON record (empty disables)")
 	flag.StringVar(&pathdiscOut, "pathdisc-out", "BENCH_pathdisc.json", "file for the pathdisc experiment's JSON record (empty disables)")
 	flag.StringVar(&dependOut, "depend-out", "BENCH_depend.json", "file for the depend experiment's JSON record (empty disables)")
 	flag.StringVar(&whatifOut, "whatif-out", "BENCH_whatif.json", "file for the whatif experiment's JSON record (empty disables)")
-	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend and whatif experiments to CI-sized sanity runs")
+	flag.StringVar(&warmOut, "warm-out", "BENCH_warm.json", "file for the warm experiment's JSON record (empty disables)")
+	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend, whatif and warm experiments to CI-sized sanity runs")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -77,6 +79,7 @@ func experimentsList() []experiment {
 		{"pathdisc", "Extension — compiled CSR kernel vs map-based discovery", expPathdisc},
 		{"depend", "Extension — compiled dependability kernel vs map-based analysis", expDepend},
 		{"whatif", "Extension — live-topology patching vs cold recompilation", expWhatIf},
+		{"warm", "Extension — allocation-free warm path vs per-request cold build", expWarm},
 	}
 }
 

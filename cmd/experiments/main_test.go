@@ -84,8 +84,8 @@ func TestExperimentListComplete(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	if len(seen) != 23 {
-		t.Errorf("experiments = %d, want 23", len(seen))
+	if len(seen) != 24 {
+		t.Errorf("experiments = %d, want 24", len(seen))
 	}
 }
 
@@ -103,6 +103,24 @@ func TestWhatIfSmoke(t *testing.T) {
 	for _, m := range []string{"patch floor", "mesh n=8", "fat-tree k=4"} {
 		if !strings.Contains(out, m) {
 			t.Errorf("whatif output missing %q in:\n%s", m, out)
+		}
+	}
+}
+
+// TestWarmSmoke runs the warm-path benchmark in its CI shape: tiny windows,
+// no artifact file. It guards the harness (corpus construction, both
+// generate variants, the HTTP lane), not the speedup or allocation figures.
+func TestWarmSmoke(t *testing.T) {
+	oldSmoke, oldOut := dependSmoke, warmOut
+	dependSmoke, warmOut = true, ""
+	defer func() { dependSmoke, warmOut = oldSmoke, oldOut }()
+	out, err := captureRun(t, "warm")
+	if err != nil {
+		t.Fatalf("run(warm): %v", err)
+	}
+	for _, m := range []string{"cold-generate floor", "fat-tree k=8 scatter", "/api/v1/availability"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("warm output missing %q in:\n%s", m, out)
 		}
 	}
 }

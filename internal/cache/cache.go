@@ -166,6 +166,27 @@ func (c *Cache) Get(key string) (any, bool) {
 	return nil, false
 }
 
+// GetBytes is Get for callers that assembled the key in a reusable byte
+// buffer. Go maps special-case `m[string(b)]` lookups to skip the string
+// conversion allocation, so a warm-path probe with a pooled key buffer is
+// allocation-free; the key is only materialised as a string by Add/Do on the
+// miss path.
+//
+//upsim:hotpath
+func (c *Cache) GetBytes(key []byte) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[string(key)]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		mHits.With().Inc()
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	mMisses.With().Inc()
+	return nil, false
+}
+
 // Add stores val under key (replacing any previous value), evicting the
 // least recently used entry when the capacity is exceeded.
 func (c *Cache) Add(key string, val any) {

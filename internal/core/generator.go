@@ -247,6 +247,21 @@ type Generator struct {
 	cache       *cache.Cache
 	modelDigest string // canonical model hash, fixed at WithCache time
 	digestErr   error
+
+	// derived names every artifact a Generate call grafted onto the shared
+	// model and model space (output diagram, mapping subtree, paths
+	// subtree), so ResetDerived can unhook them when the generator returns
+	// to a GeneratorPool.
+	derived []derivedNames
+	poolKey string // set by GeneratorPool.Acquire; empty for unpooled use
+}
+
+// derivedNames records the per-generation artifact names: the UPSIM output
+// diagram (which also names the paths.<name> subtree) and the sequenced
+// mapping import.
+type derivedNames struct {
+	diagram string
+	mapping string
 }
 
 // NewGenerator imports the model into a fresh model space (Step 5) and
@@ -271,12 +286,18 @@ func NewGeneratorContext(ctx context.Context, m *uml.Model, diagramName string) 
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid model: %w", err)
 	}
-	space := vpm.NewSpace()
+	// The space comes from the package pool: a recycled space keeps the
+	// arena blocks and index buckets of its previous life, so the
+	// one-entity-per-UML-element import below bump-allocates instead of
+	// hitting the heap per element (DESIGN.md §14).
+	space := vpm.GetSpace()
 	im, err := importers.NewUMLImporter(space)
 	if err != nil {
+		vpm.PutSpace(space)
 		return nil, err
 	}
 	if err := im.Import(m); err != nil {
+		vpm.PutSpace(space)
 		return nil, err
 	}
 	g := topology.FromObjectDiagram(d)
@@ -383,6 +404,11 @@ func (g *Generator) generate(ctx context.Context, svc *service.Composite, mp *ma
 	_, span6 := obs.StartSpan(ctx, "step6.import_mapping")
 	g.mappingSeq++
 	mappingName := fmt.Sprintf("%s-%d", name, g.mappingSeq)
+	// Record the artifact names before any state is created: a failed step
+	// may leave a partial graft (an imported mapping whose discovery then
+	// fails), and ResetDerived must unhook those too. Cleanup of names that
+	// never materialised is a no-op.
+	g.derived = append(g.derived, derivedNames{diagram: name, mapping: mappingName})
 	mi, err := importers.NewMappingImporter(g.space)
 	if err != nil {
 		span6.End()
@@ -650,4 +676,40 @@ func (g *Generator) merge(res *Result, opts Options) error {
 	res.UPSIM = out
 	res.Graph = topology.FromObjectDiagram(out)
 	return nil
+}
+
+// ResetDerived unhooks every artifact previous Generate calls grafted onto
+// the shared model and model space: output diagrams detach from the model
+// (staying valid inside cached Results), and the mapping and paths subtrees
+// are deleted, returning their entities to the space's arena free lists. The
+// infrastructure import (Step 5) is untouched, so the generator is ready for
+// a fresh sequence of generations against the same model — this is what
+// makes a Generator reusable through a GeneratorPool without name
+// collisions or unbounded model-space growth.
+func (g *Generator) ResetDerived() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, d := range g.derived {
+		g.model.RemoveDiagram(d.diagram)
+		if e, ok := g.space.Lookup(importers.NSMappings + "." + d.mapping); ok {
+			// The subtree exists and is not the root; deletion cannot fail.
+			_ = g.space.DeleteEntity(e)
+		}
+		if e, ok := g.space.Lookup("paths." + d.diagram); ok {
+			_ = g.space.DeleteEntity(e)
+		}
+	}
+	g.derived = g.derived[:0]
+}
+
+// Close releases the generator's model space back to the package pool. The
+// generator must not be used afterwards; only pool-managed lifecycles (and
+// tests) should call it — an unpooled Generator can simply be dropped.
+func (g *Generator) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.space != nil {
+		vpm.PutSpace(g.space)
+		g.space = nil
+	}
 }

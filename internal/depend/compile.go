@@ -17,7 +17,6 @@ package depend
 // does after its determinization. See DESIGN.md §10.
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -197,7 +196,8 @@ type CompiledStructure struct {
 	validErr  error // Validate() result of the source structure, if any
 	patchDead bool  // validErr was induced by PatchRemoveComponent (see patch.go)
 
-	pool sync.Pool // *bitArena
+	pool      sync.Pool // *bitArena
+	exactPool sync.Pool // *exactCtx (memo table + factoring arenas, memo.go)
 }
 
 // Compile lowers s into its interned bitset form. An invalid structure
@@ -228,6 +228,7 @@ func Compile(s *ServiceStructure) *CompiledStructure {
 		cs.atomics = append(cs.atomics, ca)
 	}
 	cs.pool.New = func() any { return new(bitArena) }
+	cs.exactPool.New = func() any { return new(exactCtx) }
 	mDependCompile.With().Inc()
 	mDependComponents.With().Set(int64(len(names)))
 	return cs
@@ -539,74 +540,62 @@ func (cs *CompiledStructure) Exact(avail map[string]float64) (float64, error) {
 	return cs.exactPacked(pa), nil
 }
 
+// exactPacked runs the Shannon factoring over pooled scratch: the top-level
+// formula shares the immutable compiled set slices (conditioning never
+// mutates its input), conditioned subformulas live in the context's arenas,
+// and the memo is the packed open-addressing table of memo.go. Steady state
+// allocates nothing.
+//
+//upsim:hotpath
 func (cs *CompiledStructure) exactPacked(pa []float64) float64 {
-	f := make([][]bitset, len(cs.atomics))
-	for i, a := range cs.atomics {
-		f[i] = append([]bitset(nil), a.sets...)
+	ctx := cs.getExactCtx()
+	f := ctx.ffs.alloc(len(cs.atomics))
+	for _, a := range cs.atomics {
+		f = append(f, a.sets)
 	}
-	memo := make(map[string]float64)
-	return cs.factorBits(f, pa, memo)
-}
-
-func (cs *CompiledStructure) factorBits(f [][]bitset, pa []float64, memo map[string]float64) float64 {
-	key := cs.bitKey(f)
-	if v, ok := memo[key]; ok {
-		return v
-	}
-	c := mostFrequentBit(f, len(cs.names))
-	a := pa[c]
-	var up, down float64
-	if fUp, konst := conditionBits(f, c, true); konst >= 0 {
-		up = float64(konst)
-	} else {
-		up = cs.factorBits(fUp, pa, memo)
-	}
-	if fDown, konst := conditionBits(f, c, false); konst >= 0 {
-		down = float64(konst)
-	} else {
-		down = cs.factorBits(fDown, pa, memo)
-	}
-	v := a*up + (1-a)*down
-	memo[key] = v
+	v := cs.factorBits(f, pa, ctx)
+	cs.putExactCtx(ctx)
 	return v
 }
 
-// bitKey encodes the formula as a canonical byte string: each set is its
-// fixed-width word image, sets are sorted within an atomic, atomics are
-// count-prefixed and sorted. Two formulas get the same key iff they are
-// equal as multisets of set multisets — the same equivalence classes the
-// legacy string key induces, so memo hits coincide.
-func (cs *CompiledStructure) bitKey(f [][]bitset) string {
-	atomKeys := make([]string, 0, len(f))
-	for _, sets := range f {
-		setKeys := make([]string, 0, len(sets))
-		for _, ps := range sets {
-			b := make([]byte, cs.words*8)
-			for i, w := range ps {
-				binary.LittleEndian.PutUint64(b[i*8:], w)
-			}
-			setKeys = append(setKeys, string(b))
-		}
-		sort.Strings(setKeys)
-		ab := binary.AppendUvarint(nil, uint64(len(setKeys)))
-		for _, sk := range setKeys {
-			ab = append(ab, sk...)
-		}
-		atomKeys = append(atomKeys, string(ab))
+//upsim:hotpath the §VII factoring recursion, one call per expression node
+func (cs *CompiledStructure) factorBits(f [][]bitset, pa []float64, ctx *exactCtx) float64 {
+	h := ctx.buildKey(f)
+	if v, ok := ctx.memo.lookup(ctx.keyTmp, h); ok {
+		return v
 	}
-	sort.Strings(atomKeys)
-	var buf []byte
-	for _, ak := range atomKeys {
-		buf = append(buf, ak...)
+	// Reserve the key before recursing: the staging buffer is reused by
+	// every deeper node, the arena copy is not.
+	klen := int32(len(ctx.keyTmp))
+	off := ctx.memo.reserve(ctx.keyTmp)
+	c := mostFrequentBit(f, ctx.counts)
+	a := pa[c]
+	var up, down float64
+	if fUp, konst := conditionBits(f, c, true, ctx); konst >= 0 {
+		up = float64(konst)
+	} else {
+		up = cs.factorBits(fUp, pa, ctx)
 	}
-	return string(buf)
+	if fDown, konst := conditionBits(f, c, false, ctx); konst >= 0 {
+		down = float64(konst)
+	} else {
+		down = cs.factorBits(fDown, pa, ctx)
+	}
+	v := a*up + (1-a)*down
+	ctx.memo.insert(h, off, klen, v)
+	return v
 }
 
 // mostFrequentBit returns the component on the most path sets; ascending
 // scan with strict improvement resolves ties to the smallest id, which is
-// the smallest name — the legacy tie rule.
-func mostFrequentBit(f [][]bitset, n int) int32 {
-	counts := make([]int32, n)
+// the smallest name — the legacy tie rule. counts is caller-owned scratch,
+// one slot per component.
+//
+//upsim:hotpath
+func mostFrequentBit(f [][]bitset, counts []int32) int32 {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, sets := range f {
 		for _, ps := range sets {
 			for w, word := range ps {
@@ -627,19 +616,24 @@ func mostFrequentBit(f [][]bitset, n int) int32 {
 }
 
 // conditionBits mirrors formula.condition on bitsets; the constant return
-// has the same meaning (0 false, 1 true, -1 use formula).
-func conditionBits(f [][]bitset, c int32, up bool) ([][]bitset, int) {
+// has the same meaning (0 false, 1 true, -1 use formula). Output slices and
+// reduced sets come from the context arenas and stay valid until the
+// context is released; unconditioned sets are shared with the input.
+//
+//upsim:hotpath
+func conditionBits(f [][]bitset, c int32, up bool, ctx *exactCtx) ([][]bitset, int) {
 	w, bit := int(c>>6), uint64(1)<<(uint(c)&63)
-	out := make([][]bitset, 0, len(f))
+	out := ctx.ffs.alloc(len(f))
 	for _, sets := range f {
-		var newSets []bitset
+		newSets := ctx.fs.alloc(len(sets))
 		satisfied := false
 		for _, ps := range sets {
 			switch {
 			case ps[w]&bit == 0:
 				newSets = append(newSets, ps)
 			case up:
-				reduced := append(bitset(nil), ps...)
+				reduced := ctx.ar.alloc(len(ps))
+				copy(reduced, ps)
 				reduced[w] &^= bit
 				empty := true
 				for _, x := range reduced {

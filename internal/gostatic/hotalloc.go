@@ -33,6 +33,12 @@ const HotPathDirective = "//upsim:hotpath"
 //   - append inside a loop to a slice that provably starts with no capacity
 //     (`var s []T`, `s := []T{}`, `T(nil)`, `make([]T, 0)`) — growth
 //     reallocates log-many times; preallocate or reuse pooled scratch.
+//   - map-with-string-key construction (`make(map[string]...)` or a
+//     `map[string]T{...}` literal) anywhere in the function — building the
+//     map allocates, and string keys force per-lookup conversions the moment
+//     the key is assembled from bytes; intern keys as dense ids and index a
+//     slice, or hoist the map to pooled state (the packed memo keys of
+//     DESIGN §14 exist because of exactly this shape).
 //
 // The rule is syntactic: appends to struct fields (pooled scratch, arenas)
 // and to locals created by make-with-capacity pass.
@@ -41,7 +47,17 @@ type hotallocRule struct{}
 func (hotallocRule) ID() string         { return "hotalloc" }
 func (hotallocRule) Severity() Severity { return SeverityError }
 func (hotallocRule) Doc() string {
-	return "//upsim:hotpath functions must not format strings or grow unpreallocated slices in loops"
+	return "//upsim:hotpath functions must not format strings, grow unpreallocated slices in loops, or construct string-keyed maps"
+}
+
+// isStringKeyedMap reports whether t is a `map[string]...` type expression.
+func isStringKeyedMap(t ast.Expr) bool {
+	mt, ok := t.(*ast.MapType)
+	if !ok {
+		return false
+	}
+	id, ok := mt.Key.(*ast.Ident)
+	return ok && id.Name == "string"
 }
 
 // isHotPath reports whether the function's doc comment carries the
@@ -94,6 +110,11 @@ func (r hotallocRule) checkFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 					fmt.Sprintf("hot path %s calls %s", name, callee),
 					"hoist the formatting to a cold caller or a shared constant"))
 			}
+			if calleeBase(v.Fun) == "make" && len(v.Args) > 0 && isStringKeyedMap(v.Args[0]) {
+				out = append(out, p.diag(r, v.Pos(),
+					fmt.Sprintf("hot path %s constructs a string-keyed map", name),
+					"intern keys as dense ids and index a slice, or hoist the map to pooled state"))
+			}
 			if calleeBase(v.Fun) == "append" && len(v.Args) > 0 && inAny(loops, v.Pos()) {
 				switch target := v.Args[0].(type) {
 				case *ast.Ident:
@@ -110,6 +131,12 @@ func (r hotallocRule) checkFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 							"preallocate the destination outside the loop"))
 					}
 				}
+			}
+		case *ast.CompositeLit:
+			if isStringKeyedMap(v.Type) {
+				out = append(out, p.diag(r, v.Pos(),
+					fmt.Sprintf("hot path %s constructs a string-keyed map", name),
+					"intern keys as dense ids and index a slice, or hoist the map to pooled state"))
 			}
 		case *ast.BinaryExpr:
 			if v.Op == token.ADD && inAny(loops, v.Pos()) &&

@@ -45,3 +45,34 @@ func appendPrealloc(xs []int) []int {
 func coldSprintf(n int) string {
 	return fmt.Sprintf("n=%d", n)
 }
+
+//upsim:hotpath
+func stringKeyedMake(keys []string) int {
+	seen := make(map[string]bool, len(keys)) // want hotalloc
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+//upsim:hotpath
+func stringKeyedLiteral() map[string]int {
+	return map[string]int{"a": 1} // want hotalloc
+}
+
+// intKeyedMake is the negative control: only string keys force per-lookup
+// conversions, so dense-id maps pass.
+//
+//upsim:hotpath
+func intKeyedMake(ids []int32) map[int32]bool {
+	seen := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}
+
+// coldStringMap is unannotated: map construction is fine off the hot path.
+func coldStringMap() map[string]int {
+	return map[string]int{"a": 1}
+}

@@ -133,6 +133,43 @@ func TestBuildDrivesFullPipeline(t *testing.T) {
 	}
 }
 
+func TestFatTreeScenarioK8SpansThreeWords(t *testing.T) {
+	// The k=8 scatter scenario exists so benchmarks exercise kernel bitset
+	// arenas beyond the ≤2-word hand-made corpora; pin that property here.
+	sc, err := FatTreeScenario(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, ok := sc.Model.Activity(sc.Service)
+	if !ok {
+		t.Fatalf("scenario activity %q missing", sc.Service)
+	}
+	svc, err := service.FromActivity(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := core.NewGenerator(sc.Model, sc.Diagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Generate(svc, sc.Mapping, "scatter-upsim", core.Options{Paths: sc.Paths})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-pod up-down routes in a k-ary fat-tree: (k/2)² per pair.
+	if got, _ := res.PathsFor("write-pod1"); len(got) != 16 {
+		t.Errorf("cross-pod up-down paths = %d, want 16", len(got))
+	}
+	_, cs, _, err := depend.FromResult(res, depend.ModelExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Words() < 3 {
+		t.Errorf("compiled kernel spans %d words over %d components, want >= 3 words",
+			cs.Words(), cs.NumComponents())
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	g, _ := topology.Chain(3)
 	if _, err := Build("", g, Params{}); err == nil {

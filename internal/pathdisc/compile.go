@@ -291,6 +291,8 @@ type csrSearch struct {
 	dst      int32
 	budget   int
 	maxPaths int
+	hardMax  int // Options.HardMaxPaths; exceeding it sets overflow
+	overflow bool
 	out      []Path
 	stats    Stats
 
@@ -378,6 +380,11 @@ func (q *csrSearch) rec(cur int32) bool {
 		q.s.edges = append(q.s.edges, q.adjEdge[j])
 		if next == q.dst {
 			q.emit()
+			if q.hardMax > 0 && q.stats.Paths > q.hardMax {
+				q.overflow = true
+				q.pop()
+				return false
+			}
 			if q.maxPaths > 0 && q.stats.Paths >= q.maxPaths {
 				q.stats.Truncated = true
 				q.pop()
@@ -424,11 +431,15 @@ func (c *Compiled) allPathsSequential(src, dst string, opts Options, algorithm s
 	q := &csrSearch{
 		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
 		dst: d0, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+		hardMax: opts.HardMaxPaths,
 	}
 	if s.dist[s0] >= 0 { // disconnected pairs skip the search entirely
 		q.visit(s0)
 		s.nodes = append(s.nodes, s0)
 		q.rec(s0)
+	}
+	if q.overflow {
+		return nil, q.stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
 	}
 	q.stats.NodeVisits = q.stats.EdgeVisits + 1
 	observe(algorithm, q.stats)
@@ -450,12 +461,16 @@ func (c *Compiled) AllPathsIterative(src, dst string, opts Options) ([]Path, Sta
 	q := &csrSearch{
 		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
 		dst: d0, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+		hardMax: opts.HardMaxPaths,
 	}
 	if s.dist[s0] >= 0 {
 		q.visit(s0)
 		s.nodes = append(s.nodes, s0)
 		s.frames = append(s.frames, csrFrame{node: s0, next: start[s0]})
 		q.iterate()
+	}
+	if q.overflow {
+		return nil, q.stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
 	}
 	q.stats.NodeVisits = q.stats.EdgeVisits + 1
 	observe("csr-iterative", q.stats)
@@ -489,6 +504,10 @@ func (q *csrSearch) iterate() {
 			s.edges = append(s.edges, q.adjEdge[j])
 			if next == q.dst {
 				q.emit()
+				if q.hardMax > 0 && q.stats.Paths > q.hardMax {
+					q.overflow = true
+					return
+				}
 				if q.maxPaths > 0 && q.stats.Paths >= q.maxPaths {
 					q.stats.Truncated = true
 					return
@@ -569,8 +588,9 @@ func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) 
 	c.reverseBFS(shared, d0)
 
 	type result struct {
-		paths []Path
-		stats Stats
+		paths    []Path
+		stats    Stats
+		overflow bool
 	}
 	results := make([]result, branches)
 	work := make(chan int)
@@ -580,7 +600,7 @@ func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) 
 		go func() {
 			defer wg.Done()
 			for bi := range work {
-				results[bi].paths, results[bi].stats = c.branch(
+				results[bi].paths, results[bi].stats, results[bi].overflow = c.branch(
 					s0, d0, adjNode[first+int32(bi)], adjEdge[first+int32(bi)],
 					shared.dist, start, adjNode, adjEdge, opts)
 			}
@@ -601,10 +621,17 @@ func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) 
 		if r.stats.MaxStack > stats.MaxStack {
 			stats.MaxStack = r.stats.MaxStack
 		}
+		if r.overflow {
+			return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+		}
 		for _, p := range r.paths {
-			// MaxPaths is enforced branch-locally and on the merged, ordered
-			// result, so the truncated set is the sequential prefix.
+			// MaxPaths (and the hard limit) are enforced branch-locally and on
+			// the merged, ordered result, so the truncated set is the
+			// sequential prefix.
 			out = append(out, p)
+			if opts.HardMaxPaths > 0 && len(out) > opts.HardMaxPaths {
+				return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+			}
 			if opts.MaxPaths > 0 && len(out) >= opts.MaxPaths {
 				stats.Truncated = true
 				stats.Paths = len(out)
@@ -624,14 +651,14 @@ func (c *Compiled) AllPathsParallel(src, dst string, opts Options, workers int) 
 // adjacency entry of src. dist is the shared read-only reachability table.
 //
 //upsim:hotpath
-func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, start, adjNode, adjEdge []int32, opts Options) ([]Path, Stats) {
+func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, start, adjNode, adjEdge []int32, opts Options) ([]Path, Stats, bool) {
 	var stats Stats
 	if branchNode == src { // self-loop: simple paths never traverse it
-		return nil, stats
+		return nil, stats, false
 	}
 	if d := dist[branchNode]; d < 0 || 1+int(d) > depthBudget(opts) {
 		stats.Pruned++
-		return nil, stats
+		return nil, stats, false
 	}
 	s := c.getScratch()
 	defer c.putScratch(s)
@@ -639,6 +666,7 @@ func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, 
 	q := &csrSearch{
 		c: c, s: s, start: start, adjNode: adjNode, adjEdge: adjEdge,
 		dst: dst, budget: depthBudget(opts), maxPaths: opts.MaxPaths,
+		hardMax: opts.HardMaxPaths,
 	}
 	q.visit(src)
 	q.visit(branchNode)
@@ -651,7 +679,7 @@ func (c *Compiled) branch(src, dst, branchNode, branchEdge int32, dist []int32, 
 	} else {
 		q.rec(branchNode)
 	}
-	return q.out, q.stats
+	return q.out, q.stats, q.overflow
 }
 
 // AllPathsCSR runs the compiled recursive DFS — the drop-in counterpart of

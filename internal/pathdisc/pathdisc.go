@@ -10,6 +10,7 @@
 package pathdisc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -103,6 +104,38 @@ type Options struct {
 	// a single logical connection: only the first edge of each pair is
 	// traversed. Node sequences are then unique across the result.
 	CollapseParallel bool
+	// HardMaxPaths aborts the enumeration with a *LimitError once more than
+	// this many paths exist; 0 disables the limit. Unlike MaxPaths — which
+	// truncates the result and reports Stats.Truncated, leaving the caller a
+	// usable lower bound — exceeding the hard limit is an error: the caller
+	// declared that an enumeration this large is a mistake (a dense mesh fed
+	// to an interactive endpoint), not an answer to return partially.
+	HardMaxPaths int
+}
+
+// LimitError reports an enumeration aborted by Options.HardMaxPaths: the
+// graph holds more than Limit simple paths between the pair. It mirrors the
+// structured depend.BudgetError contract so callers can surface the pair and
+// the limit without parsing the message.
+type LimitError struct {
+	// Src and Dst are the enumeration endpoints.
+	Src, Dst string
+	// Limit is the HardMaxPaths bound that was exceeded.
+	Limit int
+}
+
+// Error renders the limit failure.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("pathdisc: more than %d simple paths between %q and %q; raise the hard limit or bound the search with maxDepth/maxPaths", e.Limit, e.Src, e.Dst)
+}
+
+// AsLimitError unwraps err to a *LimitError when one is in the chain.
+func AsLimitError(err error) (*LimitError, bool) {
+	var le *LimitError
+	if errors.As(err, &le) {
+		return le, true
+	}
+	return nil, false
 }
 
 // Stats reports instrumentation counters from one enumeration, used by the
@@ -156,8 +189,9 @@ func AllPaths(g *topology.Graph, src, dst string, opts Options) ([]Path, Stats, 
 		nodes   = []string{src}
 		edges   []int
 		visited = map[string]bool{src: true}
+		hardHit bool
 	)
-	var rec func(cur string) bool // returns false to abort (MaxPaths hit)
+	var rec func(cur string) bool // returns false to abort (MaxPaths or hard limit hit)
 	rec = func(cur string) bool {
 		if len(nodes) > stats.MaxStack {
 			stats.MaxStack = len(nodes)
@@ -184,6 +218,12 @@ func AllPaths(g *topology.Graph, src, dst string, opts Options) ([]Path, Stats, 
 			if next == dst {
 				out = append(out, Path{Nodes: append([]string(nil), nodes...), Edges: append([]int(nil), edges...)})
 				stats.Paths++
+				if opts.HardMaxPaths > 0 && stats.Paths > opts.HardMaxPaths {
+					hardHit = true
+					nodes = nodes[:len(nodes)-1]
+					edges = edges[:len(edges)-1]
+					return false
+				}
 				if opts.MaxPaths > 0 && stats.Paths >= opts.MaxPaths {
 					stats.Truncated = true
 					nodes = nodes[:len(nodes)-1]
@@ -206,6 +246,9 @@ func AllPaths(g *topology.Graph, src, dst string, opts Options) ([]Path, Stats, 
 		return true
 	}
 	rec(src)
+	if hardHit {
+		return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+	}
 	stats.NodeVisits = stats.EdgeVisits + 1
 	observe("recursive-dfs", stats)
 	return out, stats, nil
@@ -267,6 +310,9 @@ func AllPathsIterative(g *topology.Graph, src, dst string, opts Options) ([]Path
 				}
 				out = append(out, p)
 				stats.Paths++
+				if opts.HardMaxPaths > 0 && stats.Paths > opts.HardMaxPaths {
+					return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+				}
 				if opts.MaxPaths > 0 && stats.Paths >= opts.MaxPaths {
 					stats.Truncated = true
 					stats.NodeVisits = stats.EdgeVisits + 1
@@ -363,6 +409,11 @@ func AllPathsParallel(g *topology.Graph, src, dst string, opts Options, workers 
 		}
 	}
 	if firstErr != nil {
+		if _, ok := AsLimitError(firstErr); ok {
+			// Branch-local limit errors name the branch's entry node; report
+			// the enumeration's own endpoints instead.
+			firstErr = &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+		}
 		return nil, Stats{}, firstErr
 	}
 	var out []Path
@@ -379,6 +430,9 @@ func AllPathsParallel(g *topology.Graph, src, dst string, opts Options, workers 
 				seenPair[key] = true
 			}
 			out = append(out, p)
+			if opts.HardMaxPaths > 0 && len(out) > opts.HardMaxPaths {
+				return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+			}
 			if opts.MaxPaths > 0 && len(out) >= opts.MaxPaths {
 				stats.Truncated = true
 				stats.Paths = len(out)
@@ -445,6 +499,7 @@ func allPathsAvoiding(g *topology.Graph, src, dst string, opts Options, avoid st
 		nodes   = []string{src}
 		edges   []int
 		visited = map[string]bool{src: true, avoid: true}
+		hardHit bool
 	)
 	var rec func(cur string) bool
 	rec = func(cur string) bool {
@@ -473,6 +528,12 @@ func allPathsAvoiding(g *topology.Graph, src, dst string, opts Options, avoid st
 			if next == dst {
 				out = append(out, Path{Nodes: append([]string(nil), nodes...), Edges: append([]int(nil), edges...)})
 				stats.Paths++
+				if opts.HardMaxPaths > 0 && stats.Paths > opts.HardMaxPaths {
+					hardHit = true
+					nodes = nodes[:len(nodes)-1]
+					edges = edges[:len(edges)-1]
+					return false
+				}
 				if opts.MaxPaths > 0 && stats.Paths >= opts.MaxPaths {
 					stats.Truncated = true
 					nodes = nodes[:len(nodes)-1]
@@ -495,6 +556,9 @@ func allPathsAvoiding(g *topology.Graph, src, dst string, opts Options, avoid st
 		return true
 	}
 	rec(src)
+	if hardHit {
+		return nil, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+	}
 	return out, stats, nil
 }
 
@@ -511,6 +575,7 @@ func CountPaths(g *topology.Graph, src, dst string, opts Options) (int, Stats, e
 		count   int
 		depth   int
 		visited = map[string]bool{src: true}
+		hardHit bool
 	)
 	var rec func(cur string) bool
 	rec = func(cur string) bool {
@@ -537,6 +602,10 @@ func CountPaths(g *topology.Graph, src, dst string, opts Options) (int, Stats, e
 			if next == dst {
 				count++
 				stats.Paths++
+				if opts.HardMaxPaths > 0 && count > opts.HardMaxPaths {
+					hardHit = true
+					return false
+				}
 				if opts.MaxPaths > 0 && count >= opts.MaxPaths {
 					stats.Truncated = true
 					return false
@@ -555,6 +624,9 @@ func CountPaths(g *topology.Graph, src, dst string, opts Options) (int, Stats, e
 		return true
 	}
 	rec(src)
+	if hardHit {
+		return 0, stats, &LimitError{Src: src, Dst: dst, Limit: opts.HardMaxPaths}
+	}
 	stats.NodeVisits = stats.EdgeVisits + 1
 	observe("count", stats)
 	return count, stats, nil

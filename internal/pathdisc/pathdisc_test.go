@@ -489,3 +489,46 @@ func BenchmarkAllPathsInstrumented(b *testing.B) {
 		}
 	}
 }
+
+// TestHardMaxPaths pins the hard-limit contract across every enumeration
+// variant: the diamond holds two simple paths, so a hard limit of 1 must
+// abort with a *LimitError while a limit of 2 passes untouched.
+func TestHardMaxPaths(t *testing.T) {
+	g := diamond(t)
+	c := Compile(g)
+	variants := map[string]func(Options) ([]Path, Stats, error){
+		"recursive": func(o Options) ([]Path, Stats, error) { return AllPaths(g, "a", "d", o) },
+		"iterative": func(o Options) ([]Path, Stats, error) { return AllPathsIterative(g, "a", "d", o) },
+		"parallel":  func(o Options) ([]Path, Stats, error) { return AllPathsParallel(g, "a", "d", o, 2) },
+		"csr":       func(o Options) ([]Path, Stats, error) { return c.AllPaths("a", "d", o) },
+		"csr-iter":  func(o Options) ([]Path, Stats, error) { return c.AllPathsIterative("a", "d", o) },
+		"csr-par":   func(o Options) ([]Path, Stats, error) { return c.AllPathsParallel("a", "d", o, 2) },
+	}
+	for name, run := range variants {
+		t.Run(name, func(t *testing.T) {
+			paths, _, err := run(Options{HardMaxPaths: 1})
+			if err == nil {
+				t.Fatalf("hard limit 1 passed with %d paths", len(paths))
+			}
+			le, ok := AsLimitError(err)
+			if !ok {
+				t.Fatalf("error is not a LimitError: %v", err)
+			}
+			if le.Src != "a" || le.Dst != "d" || le.Limit != 1 {
+				t.Fatalf("LimitError = %+v", le)
+			}
+			if paths, _, err = run(Options{HardMaxPaths: 2}); err != nil || len(paths) != 2 {
+				t.Fatalf("hard limit 2: paths=%d err=%v", len(paths), err)
+			}
+			// MaxPaths below the hard limit truncates instead of erroring.
+			paths, stats, err := run(Options{HardMaxPaths: 1, MaxPaths: 1})
+			if err != nil || len(paths) != 1 || !stats.Truncated {
+				t.Fatalf("MaxPaths precedence: paths=%d truncated=%v err=%v", len(paths), stats.Truncated, err)
+			}
+		})
+	}
+	// Counting honours the limit too.
+	if _, _, err := CountPaths(g, "a", "d", Options{HardMaxPaths: 1}); err == nil {
+		t.Fatal("CountPaths ignored the hard limit")
+	}
+}

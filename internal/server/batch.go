@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"upsim/internal/cache"
+	"upsim/internal/core"
 )
 
 // MaxBatchItems bounds one POST /api/v1/batch request.
@@ -78,6 +79,13 @@ type BatchResponse struct {
 // `upsim batch` subcommand, which executes request files in-process against
 // its own cache.
 func RunBatch(ctx context.Context, c *cache.Cache, workers int, req *BatchRequest) (*BatchResponse, error) {
+	return runBatch(ctx, c, nil, workers, req)
+}
+
+// runBatch is RunBatch with an optional generator pool: the HTTP handler
+// passes the server's pool so items of the same model reuse one imported
+// model space, while the exported entry point builds generators fresh.
+func runBatch(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, workers int, req *BatchRequest) (*BatchResponse, error) {
 	if len(req.Items) == 0 {
 		return nil, fmt.Errorf("batch: items is required")
 	}
@@ -102,7 +110,7 @@ func RunBatch(ctx context.Context, c *cache.Cache, workers int, req *BatchReques
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
-				results[i] = runBatchItem(ctx, c, i, &req.Items[i])
+				results[i] = runBatchItem(ctx, c, p, i, &req.Items[i])
 			}
 		}()
 	}
@@ -123,7 +131,7 @@ func RunBatch(ctx context.Context, c *cache.Cache, workers int, req *BatchReques
 
 // runBatchItem executes one item. A cancelled ctx fails remaining items fast
 // (the pipeline itself also honours ctx).
-func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) BatchResult {
+func runBatchItem(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, i int, it *BatchItem) BatchResult {
 	out := BatchResult{Index: i, Op: it.Op}
 	if out.Op == "" {
 		out.Op = OpGenerate
@@ -145,7 +153,7 @@ func runBatchItem(ctx context.Context, c *cache.Cache, i int, it *BatchItem) Bat
 		Name:              it.Name,
 		AllowDisconnected: it.AllowDisconnected,
 	}
-	res, genKey, err := greq.generate(ctx, c)
+	res, genKey, err := greq.generate(ctx, c, p)
 	if err != nil {
 		out.Error = err.Error()
 		return out
@@ -176,7 +184,7 @@ func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := RunBatch(r.Context(), a.cache, a.batchWorkers, &req)
+	resp, err := runBatch(r.Context(), a.cache, a.generators, a.batchWorkers, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

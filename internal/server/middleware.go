@@ -75,6 +75,38 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// instrumentWarm wraps an analysis route with the warm byte-level lane in
+// front of the full middleware stack: a repeated request body is answered
+// from memoised response bytes before any context, status-writer or
+// request-ID allocation happens. The metric children (request counter with
+// the fixed POST/200 labels, latency histogram) are resolved once at wrap
+// time, so a warm hit performs zero allocations end to end — the contract
+// the warm_test.go AllocsPerRun guards pin. Warm misses replay the consumed
+// body through the regular instrumented cold path. The in-flight gauge
+// deliberately covers only cold requests: a warm hit is sub-microsecond and
+// never in flight long enough to observe.
+func (a *api) instrumentWarm(route, warmPrefix string, h http.HandlerFunc) http.HandlerFunc {
+	warmRequests := mRequests.With(http.MethodPost, route, "200")
+	warmLatency := mLatency.With(route)
+	warmHits := mWarmHits.With(route)
+	cold := instrument(route, h)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		wr := warmPool.Get().(*warmReq)
+		if a.tryWarm(wr, warmPrefix, w, r) {
+			warmPool.Put(wr)
+			warmHits.Inc()
+			warmRequests.Inc()
+			warmLatency.Observe(time.Since(start).Seconds())
+			return
+		}
+		cold(w, r)
+		// The handler is done with the replayed body (storeWarm copied the
+		// key); the warmReq can be recycled.
+		warmPool.Put(wr)
+	}
+}
+
 // instrument wraps one route's handler with the observability middleware:
 // request-ID injection, in-flight gauge, per-route request counter and
 // latency histogram, and panic recovery that logs the stack and returns a

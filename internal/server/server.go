@@ -84,9 +84,12 @@ type Config struct {
 }
 
 // api is the per-handler shared state: the content-addressed result cache
-// every generation-backed route runs through, and the batch pool bound.
+// every generation-backed route runs through, the generator pool that
+// recycles imported model spaces across requests of the same model, and the
+// batch pool bound.
 type api struct {
 	cache        *cache.Cache
+	generators   *core.GeneratorPool
 	batchWorkers int
 }
 
@@ -100,19 +103,26 @@ func NewWithConfig(cfg Config) http.Handler {
 			return obs.DefaultRegistry().Snapshot()
 		}))
 	})
-	a := &api{cache: cache.New(cfg.CacheSize), batchWorkers: cfg.BatchWorkers}
+	c := cache.New(cfg.CacheSize)
+	a := &api{cache: c, generators: core.NewGeneratorPool(c, 0, 0), batchWorkers: cfg.BatchWorkers}
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, instrument(route, h))
 	}
+	// The analysis routes additionally run the warm byte-level lane (see
+	// warm.go): a repeated body is answered from memoised response bytes
+	// without JSON decoding, generation or allocation.
+	warm := func(pattern, route, prefix string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, a.instrumentWarm(route, prefix, h))
+	}
 	handle("GET /healthz", "/healthz", handleHealth)
 	handle("GET /api/v1/casestudy/model", "/api/v1/casestudy/model", handleCaseStudyModel)
 	handle("GET /api/v1/casestudy/mapping", "/api/v1/casestudy/mapping", handleCaseStudyMapping)
-	handle("POST /api/v1/paths", "/api/v1/paths", handlePaths)
+	handle("POST /api/v1/paths", "/api/v1/paths", a.handlePaths)
 	handle("POST /api/v1/generate", "/api/v1/generate", a.handleGenerate)
-	handle("POST /api/v1/availability", "/api/v1/availability", a.handleAvailability)
-	handle("POST /api/v1/qos", "/api/v1/qos", a.handleQoS)
-	handle("POST /api/v1/explain", "/api/v1/explain", a.handleExplain)
+	warm("POST /api/v1/availability", "/api/v1/availability", warmPrefixAvailability, a.handleAvailability)
+	warm("POST /api/v1/qos", "/api/v1/qos", warmPrefixQoS, a.handleQoS)
+	warm("POST /api/v1/explain", "/api/v1/explain", warmPrefixExplain, a.handleExplain)
 	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
 	handle("POST /api/v1/batch", "/api/v1/batch", a.handleBatch)
 	handle("POST /api/v1/whatif", "/api/v1/whatif", a.handleWhatIf)
@@ -251,12 +261,23 @@ type modelInput struct {
 	Diagram string `json:"diagram"`
 }
 
-func (in *modelInput) load(ctx context.Context) (*uml.Model, *core.Generator, error) {
+// validate checks the required fields before any decode work.
+func (in *modelInput) validate() error {
 	if strings.TrimSpace(in.ModelXML) == "" {
-		return nil, nil, fmt.Errorf("modelXml is required")
+		return fmt.Errorf("modelXml is required")
 	}
 	if in.Diagram == "" {
-		return nil, nil, fmt.Errorf("diagram is required")
+		return fmt.Errorf("diagram is required")
+	}
+	return nil
+}
+
+// load decodes the model and builds a fresh generator. The what-if route
+// depends on this freshness — its engine takes ownership of the generator's
+// live topology — so it must NOT be switched to the pooled acquire path.
+func (in *modelInput) load(ctx context.Context) (*uml.Model, *core.Generator, error) {
+	if err := in.validate(); err != nil {
+		return nil, nil, err
 	}
 	m, err := uml.Decode(strings.NewReader(in.ModelXML))
 	if err != nil {
@@ -293,21 +314,44 @@ type pathsResponse struct {
 	PathStats explain.PathStatistics `json:"pathStats"`
 }
 
-func handlePaths(w http.ResponseWriter, r *http.Request) {
+// pathsHardLimit bounds the /api/v1/paths enumeration: a request whose pair
+// holds more simple paths than this gets a structured 422 instead of an
+// unbounded (potentially memory-exhausting) search that used to surface as a
+// bare 500. Variable so tests can lower it.
+var pathsHardLimit = 1 << 20
+
+func (a *api) handlePaths(w http.ResponseWriter, r *http.Request) {
 	var req pathsRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	_, gen, err := req.load(r.Context())
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gen, err := a.generators.Acquire(r.Context(), req.ModelXML, req.Diagram)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The generator compiled the CSR kernel at load time; enumerate through
-	// it rather than the map-based walker.
+	defer a.generators.Release(gen)
+	// The generator compiled the CSR kernel at acquire time; enumerate
+	// through it rather than the map-based walker.
 	paths, stats, err := gen.Compiled().AllPaths(req.From, req.To,
-		pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths})
+		pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths, HardMaxPaths: pathsHardLimit})
 	if err != nil {
+		if le, ok := pathdisc.AsLimitError(err); ok {
+			// Same structured shape as the depend budget 422s; the
+			// requester→provider pair plays the atomic-service role here.
+			writeJSON(w, http.StatusUnprocessableEntity, budgetErrorResponse{
+				errorResponse: errorResponse{Error: le.Error()},
+				Kind:          "paths",
+				AtomicService: le.Src + "→" + le.Dst,
+				Need:          le.Limit + 1,
+				Limit:         le.Limit,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -340,15 +384,33 @@ type generateRequest struct {
 }
 
 // generate runs the pipeline for one request through the shared cache (nil
-// disables caching). The generator itself is per-request — the cache key is
+// disables caching). With a pool, the generator is acquired warm — a repeated
+// model skips XML decode, VPM import and CSR compilation — and released (its
+// derived artifacts unhooked) before returning; results stay valid after
+// release because derived diagrams are detached, not destroyed. With p ==
+// nil the generator is built fresh per request. Either way the cache key is
 // derived from the request content, so identical requests hit the same entry
 // no matter which generator instance computes them. The returned key is the
 // generation content hash; the analysis routes extend it into their own
 // cache keys so replays skip recompilation, not just regeneration.
-func (req *generateRequest) generate(ctx context.Context, c *cache.Cache) (*core.Result, string, error) {
-	_, gen, err := req.load(ctx)
-	if err != nil {
-		return nil, "", err
+func (req *generateRequest) generate(ctx context.Context, c *cache.Cache, p *core.GeneratorPool) (*core.Result, string, error) {
+	var gen *core.Generator
+	if p != nil {
+		if err := req.validate(); err != nil {
+			return nil, "", err
+		}
+		g, err := p.Acquire(ctx, req.ModelXML, req.Diagram)
+		if err != nil {
+			return nil, "", err
+		}
+		defer p.Release(g)
+		gen = g
+	} else {
+		_, g, err := req.load(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		gen = g
 	}
 	m := gen.Model()
 	act, ok := m.Activity(req.Service)
@@ -422,7 +484,7 @@ func (a *api) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, _, err := req.generate(r.Context(), a.cache)
+	res, _, err := req.generate(r.Context(), a.cache, a.generators)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -520,7 +582,7 @@ func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, genKey, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache, a.generators)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -531,6 +593,7 @@ func (a *api) handleQoS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeRawJSON(w, http.StatusOK, resp.body)
+	a.storeWarm(r, resp)
 }
 
 // analyzeQoS runs the performability + responsiveness analysis on a (possibly
@@ -654,7 +717,7 @@ func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, genKey, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache, a.generators)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -665,6 +728,7 @@ func (a *api) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeRawJSON(w, http.StatusOK, resp.body)
+	a.storeWarm(r, resp)
 }
 
 // analyzeAvailability runs the Section VII analysis on a (possibly cached)
@@ -760,7 +824,7 @@ func (a *api) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, genKey, err := req.generate(r.Context(), a.cache)
+	res, genKey, err := req.generate(r.Context(), a.cache, a.generators)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -773,6 +837,7 @@ func (a *api) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeRawJSON(w, http.StatusOK, resp.body)
+		a.storeWarm(r, resp)
 	case ExplainModeValidate:
 		xml := req.CurrentModelXML
 		if strings.TrimSpace(xml) == "" {

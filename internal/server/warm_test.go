@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"upsim/internal/casestudy"
+	"upsim/internal/testutil"
+	"upsim/internal/uml"
+)
+
+// warmFixture returns the case-study model XML and Table I mapping XML
+// without going through HTTP.
+func warmFixture(t *testing.T) (modelXML, mappingXML string) {
+	t.Helper()
+	m, err := casestudy.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := casestudy.PrintingService(m); err != nil {
+		t.Fatal(err)
+	}
+	var mb strings.Builder
+	if err := uml.Encode(&mb, m); err != nil {
+		t.Fatal(err)
+	}
+	var pb bytes.Buffer
+	if err := casestudy.TableIMapping().Encode(&pb); err != nil {
+		t.Fatal(err)
+	}
+	return mb.String(), pb.String()
+}
+
+// warmBody marshals one analysis request body for the given route.
+func warmBody(t *testing.T, route, modelXML, mappingXML string) []byte {
+	t.Helper()
+	req := map[string]any{
+		"modelXml":   modelXML,
+		"diagram":    casestudy.DiagramName,
+		"service":    casestudy.PrintingServiceName,
+		"mappingXml": mappingXML,
+	}
+	if route == "/api/v1/availability" {
+		req["mcSamples"] = 2000
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// replayableBody is a resettable io.ReadCloser so one http.Request can be
+// served repeatedly without per-iteration allocation.
+type replayableBody struct{ r bytes.Reader }
+
+func (b *replayableBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *replayableBody) Close() error               { return nil }
+
+// nullResponseWriter discards the response body while keeping a persistent
+// header map, so repeated serves reuse every byte of writer state.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	bytes  int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(s int)   { w.status = s }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+// TestWarmLaneReplaysIdenticalBytes pins the functional contract: a repeated
+// analysis request is answered byte-identically by the warm lane, for every
+// warm route.
+func TestWarmLaneReplaysIdenticalBytes(t *testing.T) {
+	modelXML, mappingXML := warmFixture(t)
+	h := New()
+	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain"} {
+		t.Run(route, func(t *testing.T) {
+			body := warmBody(t, route, modelXML, mappingXML)
+			serve := func() *httptest.ResponseRecorder {
+				r := httptest.NewRequest(http.MethodPost, route, bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, r)
+				return w
+			}
+			cold := serve()
+			if cold.Code != http.StatusOK {
+				t.Fatalf("cold %s = %d: %s", route, cold.Code, cold.Body.String())
+			}
+			hits := mWarmHits.With(route).Value()
+			warm := serve()
+			if warm.Code != http.StatusOK {
+				t.Fatalf("warm %s = %d: %s", route, warm.Code, warm.Body.String())
+			}
+			if !bytes.Equal(cold.Body.Bytes(), warm.Body.Bytes()) {
+				t.Fatal("warm replay differs from the cold response")
+			}
+			if got := mWarmHits.With(route).Value(); got != hits+1 {
+				t.Fatalf("warm hit counter went %d -> %d, want +1", hits, got)
+			}
+		})
+	}
+}
+
+// TestWarmHitZeroAllocs is the tentpole guard: once a route is warm, a
+// repeated request performs zero heap allocations from route match to
+// cached-bytes write.
+func TestWarmHitZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; the guard asserts exact counts")
+	}
+	modelXML, mappingXML := warmFixture(t)
+	h := New()
+	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain"} {
+		t.Run(route, func(t *testing.T) {
+			payload := warmBody(t, route, modelXML, mappingXML)
+			body := &replayableBody{}
+			r := httptest.NewRequest(http.MethodPost, route, nil)
+			r.Header.Set(RequestIDHeader, "warm-guard")
+			w := &nullResponseWriter{h: make(http.Header)}
+			serve := func() {
+				body.r.Reset(payload)
+				r.Body = body
+				h.ServeHTTP(w, r)
+			}
+			serve() // cold: compute and store
+			if w.status != http.StatusOK {
+				t.Fatalf("cold status = %d", w.status)
+			}
+			w.status = 0
+			serve() // warm once more so every pool and header bucket exists
+			allocs := testing.AllocsPerRun(100, serve)
+			if allocs != 0 {
+				t.Fatalf("warm %s hit allocates %.1f objects per run, want 0", route, allocs)
+			}
+			if w.bytes == 0 {
+				t.Fatal("warm lane wrote no response bytes")
+			}
+		})
+	}
+}
+
+// TestWarmLaneConcurrent hammers one warm route from many goroutines with
+// two distinct bodies, so pooled warmReqs, the generator pool and the cache
+// run under the race detector.
+func TestWarmLaneConcurrent(t *testing.T) {
+	modelXML, mappingXML := warmFixture(t)
+	h := New()
+	const route = "/api/v1/qos"
+	bodies := [][]byte{
+		warmBody(t, route, modelXML, mappingXML),
+		warmBody(t, route, modelXML+" ", mappingXML), // distinct bytes, same semantics
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				r := httptest.NewRequest(http.MethodPost, route, bytes.NewReader(bodies[(g+i)%2]))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					errc <- w.Body.String()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatalf("concurrent warm request failed: %s", msg)
+	}
+}
+
+// TestPathsHardLimit422 pins the structured hard-limit error of
+// /api/v1/paths: exceeding the enumeration bound is a 422 carrying the
+// budget-error shape, not a bare 500 (or an unbounded search).
+func TestPathsHardLimit422(t *testing.T) {
+	old := pathsHardLimit
+	pathsHardLimit = 1
+	defer func() { pathsHardLimit = old }()
+
+	modelXML, _ := warmFixture(t)
+	h := New()
+	body, err := json.Marshal(map[string]any{
+		"modelXml": modelXML,
+		"diagram":  casestudy.DiagramName,
+		"from":     "t1",
+		"to":       "printS",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/api/v1/paths", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422: %s", w.Code, w.Body.String())
+	}
+	var resp budgetErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding 422 body: %v", err)
+	}
+	if resp.Kind != "paths" || resp.Limit != 1 || resp.Need != 2 {
+		t.Fatalf("budget shape = %+v", resp)
+	}
+	if resp.AtomicService != "t1→printS" {
+		t.Fatalf("atomicService = %q", resp.AtomicService)
+	}
+	if resp.Error == "" {
+		t.Fatal("422 body lacks the error message")
+	}
+}

@@ -133,7 +133,7 @@ func (a *api) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		if gr.Name == "" {
 			gr.Name = s.Service
 		}
-		res, genKey, err := gr.generate(r.Context(), a.cache)
+		res, genKey, err := gr.generate(r.Context(), a.cache, a.generators)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "service %q: %v", s.Service, err)
 			return

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package testutil holds small helpers shared by tests, most notably the
+// race-detector flag: testing.AllocsPerRun guards assert exact allocation
+// counts that race instrumentation inflates, so strict 0-alloc tests skip
+// under -race (the behaviour they pin is still exercised, just not counted).
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = true

@@ -1,0 +1,153 @@
+// Arena allocation for the model space. A cold Step 5/6 import materialises
+// one Entity per UML element and one Relation per edge; allocating each as an
+// individual heap object made the importer dominate cold generate. Entities
+// and relations are instead bump-allocated from chunked arenas owned by the
+// ModelSpace, recycled through free lists when deleted, and — via Reset — the
+// whole space is reusable across generations without freeing a single block.
+//
+// Lifecycle rules (DESIGN.md §14):
+//
+//   - get() fully initialises every field of the returned value; neither
+//     Reset nor the free list scrubs eagerly. A recycled Entity's children
+//     map and slices keep their capacity across reuse.
+//   - Reset rewinds the bump cursors and drops the free lists (the cursor
+//     will re-issue those slots), so it must only be called when no caller
+//     retains pointers into the space. GetSpace/PutSpace encode that
+//     contract as a sync.Pool.
+//   - DeleteEntity recycles the subtree immediately; callers must not hold
+//     *Entity pointers into a deleted subtree across a subsequent NewEntity.
+//     Relations are recycled lazily, only when relSeq compaction removes
+//     them from the creation-order log, so a deleted relation can never be
+//     resurrected while still listed.
+package vpm
+
+import "sync"
+
+// Arena chunk sizes: one block of entities covers a small infrastructure
+// model; relations run roughly 2× entities (typing + links).
+const (
+	entityChunk   = 256
+	relationChunk = 512
+)
+
+// entityArena bump-allocates Entity values from fixed-size blocks. Blocks
+// are never freed; reset rewinds the cursor for whole-space reuse.
+type entityArena struct {
+	blocks [][]Entity
+	block  int // current block index
+	next   int // next unused slot in the current block
+	free   []*Entity
+}
+
+func (a *entityArena) get() *Entity {
+	if n := len(a.free); n > 0 {
+		e := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return e
+	}
+	if a.block == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]Entity, entityChunk))
+	}
+	b := a.blocks[a.block]
+	e := &b[a.next]
+	if a.next++; a.next == len(b) {
+		a.block, a.next = a.block+1, 0
+	}
+	return e
+}
+
+func (a *entityArena) put(e *Entity) { a.free = append(a.free, e) }
+
+func (a *entityArena) reset() {
+	a.block, a.next = 0, 0
+	for i := range a.free {
+		a.free[i] = nil
+	}
+	a.free = a.free[:0]
+}
+
+// relationArena is the Relation counterpart of entityArena.
+type relationArena struct {
+	blocks [][]Relation
+	block  int
+	next   int
+	free   []*Relation
+}
+
+func (a *relationArena) get() *Relation {
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return r
+	}
+	if a.block == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]Relation, relationChunk))
+	}
+	b := a.blocks[a.block]
+	r := &b[a.next]
+	if a.next++; a.next == len(b) {
+		a.block, a.next = a.block+1, 0
+	}
+	return r
+}
+
+func (a *relationArena) put(r *Relation) { a.free = append(a.free, r) }
+
+func (a *relationArena) reset() {
+	a.block, a.next = 0, 0
+	for i := range a.free {
+		a.free[i] = nil
+	}
+	a.free = a.free[:0]
+}
+
+// Reset empties the space for reuse without releasing arena blocks, index
+// buckets or slice capacity: the next import bump-allocates from memory the
+// previous generation already paid for. All entities, relations, listeners
+// and index entries are dropped; the root survives with its children map
+// cleared. Callers must not retain pointers obtained before the Reset.
+func (s *ModelSpace) Reset() {
+	clear(s.root.children)
+	s.root.childSeq = s.root.childSeq[:0]
+	s.root.types = s.root.types[:0]
+	s.root.value = ""
+	clear(s.relations)
+	for i := range s.relSeq {
+		s.relSeq[i] = nil
+	}
+	s.relSeq = s.relSeq[:0]
+	for e, rs := range s.fromIdx {
+		s.putRelSlice(rs)
+		delete(s.fromIdx, e)
+	}
+	for e, rs := range s.toIdx {
+		s.putRelSlice(rs)
+		delete(s.toIdx, e)
+	}
+	s.listeners = s.listeners[:0]
+	s.entities = 0
+	s.deadRels = 0
+	s.entArena.reset()
+	s.relArena.reset()
+}
+
+// spacePool recycles whole model spaces across generations. A space obtained
+// here keeps the arena blocks and map buckets of its previous life, so a
+// same-shape import is close to allocation-free.
+var spacePool = sync.Pool{New: func() any { return NewSpace() }}
+
+// GetSpace returns an empty model space, reusing a previously released one
+// when available.
+func GetSpace() *ModelSpace { return spacePool.Get().(*ModelSpace) }
+
+// PutSpace resets the space and returns it to the pool. The caller must not
+// use the space, or any entity or relation of it, afterwards.
+func PutSpace(s *ModelSpace) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	spacePool.Put(s)
+}

@@ -1,0 +1,177 @@
+package vpm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// smallNames is precomputed so alloc-measuring tests do not charge name
+// formatting to the space.
+var smallNames = func() []string {
+	out := make([]string, 20)
+	for i := range out {
+		out[i] = fmt.Sprintf("n%d", i)
+	}
+	return out
+}()
+
+// buildSmall materialises a small tree with typing and links, mirroring the
+// shape of a Step 5 import.
+func buildSmall(t testing.TB, s *ModelSpace) {
+	t.Helper()
+	meta, err := s.EnsureEntity("metamodel.Class")
+	if err != nil {
+		t.Fatalf("EnsureEntity: %v", err)
+	}
+	root, err := s.EnsureEntity("models.m.diagrams.d")
+	if err != nil {
+		t.Fatalf("EnsureEntity: %v", err)
+	}
+	var prev *Entity
+	for _, name := range smallNames {
+		e, err := s.NewEntity(root, name)
+		if err != nil {
+			t.Fatalf("NewEntity: %v", err)
+		}
+		if err := s.SetInstanceOf(e, meta); err != nil {
+			t.Fatalf("SetInstanceOf: %v", err)
+		}
+		if prev != nil {
+			if _, err := s.NewRelation("link", prev, e); err != nil {
+				t.Fatalf("NewRelation: %v", err)
+			}
+		}
+		prev = e
+	}
+}
+
+func countEntities(s *ModelSpace) int {
+	n := 0
+	s.Walk(func(*Entity) bool { n++; return true })
+	return n
+}
+
+func TestResetReusesArenaBlocks(t *testing.T) {
+	s := NewSpace()
+	buildSmall(t, s)
+	wantEnts, wantRels := s.NumEntities(), s.NumRelations()
+	blocks := len(s.entArena.blocks)
+
+	for i := 0; i < 5; i++ {
+		s.Reset()
+		if s.NumEntities() != 0 || s.NumRelations() != 0 || countEntities(s) != 0 {
+			t.Fatalf("reset %d: space not empty: %d entities, %d relations", i, s.NumEntities(), s.NumRelations())
+		}
+		buildSmall(t, s)
+		if s.NumEntities() != wantEnts || s.NumRelations() != wantRels {
+			t.Fatalf("rebuild %d: got %d entities / %d relations, want %d / %d",
+				i, s.NumEntities(), s.NumRelations(), wantEnts, wantRels)
+		}
+		if got := len(s.entArena.blocks); got != blocks {
+			t.Fatalf("rebuild %d: entity arena grew to %d blocks, want %d", i, got, blocks)
+		}
+	}
+}
+
+func TestResetImportIsAllocationLean(t *testing.T) {
+	s := NewSpace()
+	buildSmall(t, s)
+	s.Reset()
+	// A same-shape rebuild into a reset space reuses arena slots, map
+	// buckets and index slices; only incidental growth (map rehash on
+	// first insert after clear keeps buckets, so effectively none) and
+	// small per-call slices remain. Allow a modest constant budget far
+	// below the ~100 allocations a cold build performs.
+	allocs := testing.AllocsPerRun(10, func() {
+		buildSmall(t, s)
+		s.Reset()
+	})
+	if allocs > 20 {
+		t.Fatalf("rebuild after Reset allocates %.0f objects per run, want <= 20", allocs)
+	}
+}
+
+func TestDeleteEntityRecyclesSlots(t *testing.T) {
+	s := NewSpace()
+	parent, err := s.EnsureEntity("models.m")
+	if err != nil {
+		t.Fatalf("EnsureEntity: %v", err)
+	}
+	blocks := len(s.entArena.blocks)
+	for i := 0; i < 10*entityChunk; i++ {
+		e, err := s.NewEntity(parent, "scratch")
+		if err != nil {
+			t.Fatalf("NewEntity: %v", err)
+		}
+		if err := s.DeleteEntity(e); err != nil {
+			t.Fatalf("DeleteEntity: %v", err)
+		}
+	}
+	if got := len(s.entArena.blocks); got != blocks {
+		t.Fatalf("create/delete churn grew the arena from %d to %d blocks", blocks, got)
+	}
+	if s.NumEntities() != 2 { // "models" and "models.m"
+		t.Fatalf("NumEntities = %d, want 2", s.NumEntities())
+	}
+}
+
+func TestRelationChurnCompactsRelSeq(t *testing.T) {
+	s := NewSpace()
+	a, _ := s.EnsureEntity("a")
+	b, _ := s.EnsureEntity("b")
+	for i := 0; i < 10*relationChunk; i++ {
+		r, err := s.NewRelation("link", a, b)
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		s.DeleteRelation(r)
+	}
+	if got := len(s.relArena.blocks); got > 2 {
+		t.Fatalf("relation churn grew the arena to %d blocks, want <= 2", got)
+	}
+	if got := len(s.relSeq); got > 2*64 {
+		t.Fatalf("relSeq retained %d slots after churn, want compaction to bound it", got)
+	}
+	if s.NumRelations() != 0 {
+		t.Fatalf("NumRelations = %d, want 0", s.NumRelations())
+	}
+}
+
+func TestDeletedSubtreeRelationsGone(t *testing.T) {
+	s := NewSpace()
+	keep, _ := s.EnsureEntity("keep")
+	sub, _ := s.EnsureEntity("tmp.child")
+	if _, err := s.NewRelation("link", keep, sub); err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	tmp, _ := s.Lookup("tmp")
+	if err := s.DeleteEntity(tmp); err != nil {
+		t.Fatalf("DeleteEntity: %v", err)
+	}
+	if got := s.RelationsFrom(keep, ""); len(got) != 0 {
+		t.Fatalf("RelationsFrom(keep) = %v after subtree delete, want none", got)
+	}
+	if got := len(s.Relations("")); got != 0 {
+		t.Fatalf("Relations() = %d live after subtree delete, want 0", got)
+	}
+	// The index entry for keep must be gone, not an empty slice, so index
+	// maps do not accumulate stale recycled-entity keys across resets.
+	if _, ok := s.fromIdx[keep]; ok {
+		t.Fatal("fromIdx retains an empty entry after its last relation was deleted")
+	}
+}
+
+func TestGetPutSpaceRoundTrip(t *testing.T) {
+	s := GetSpace()
+	buildSmall(t, s)
+	PutSpace(s)
+	s2 := GetSpace()
+	defer PutSpace(s2)
+	if s2.NumEntities() != 0 || s2.NumRelations() != 0 {
+		t.Fatalf("pooled space not empty: %d entities, %d relations", s2.NumEntities(), s2.NumRelations())
+	}
+	buildSmall(t, s2)
+	if _, ok := s2.Lookup("models.m.diagrams.d.n3"); !ok {
+		t.Fatal("rebuild into pooled space lost models.m.diagrams.d.n3")
+	}
+}

@@ -210,6 +210,33 @@ type ModelSpace struct {
 	toIdx     map[*Entity][]*Relation
 	listeners []func(Event)
 	entities  int
+	deadRels  int // deleted relations still occupying relSeq slots
+	entArena  entityArena
+	relArena  relationArena
+	relSlices [][]*Relation // recycled fromIdx/toIdx backing slices
+}
+
+// getRelSlice returns an empty index slice, reusing a recycled backing
+// array when available so per-entity index entries survive space reuse.
+func (s *ModelSpace) getRelSlice() []*Relation {
+	if n := len(s.relSlices); n > 0 {
+		sl := s.relSlices[n-1]
+		s.relSlices[n-1] = nil
+		s.relSlices = s.relSlices[:n-1]
+		return sl
+	}
+	return make([]*Relation, 0, 4)
+}
+
+func (s *ModelSpace) putRelSlice(sl []*Relation) {
+	if cap(sl) == 0 {
+		return
+	}
+	sl = sl[:cap(sl)]
+	for i := range sl {
+		sl[i] = nil
+	}
+	s.relSlices = append(s.relSlices, sl[:0])
 }
 
 // NewSpace creates an empty model space with a root entity.
@@ -260,7 +287,16 @@ func (s *ModelSpace) NewEntity(parent *Entity, name string) (*Entity, error) {
 	if _, dup := parent.children[name]; dup {
 		return nil, fmt.Errorf("vpm: duplicate entity %q under %q", name, parent)
 	}
-	e := &Entity{space: s, name: name, parent: parent, children: make(map[string]*Entity)}
+	e := s.entArena.get()
+	e.space, e.name, e.parent = s, name, parent
+	e.value = ""
+	e.deleted = false
+	e.childSeq = e.childSeq[:0]
+	e.types = e.types[:0]
+	clear(e.children) // lazily created; a recycled entity keeps its buckets
+	if parent.children == nil {
+		parent.children = make(map[string]*Entity)
+	}
 	parent.children[name] = e
 	parent.childSeq = append(parent.childSeq, name)
 	s.entities++
@@ -346,6 +382,11 @@ func (s *ModelSpace) DeleteEntity(e *Entity) error {
 		x.deleted = true
 		s.entities--
 		s.notify(Event{Kind: EntityDeleted, Entity: x})
+		// Recycle the slot; the next NewEntity re-initialises every field.
+		// Callers must not retain pointers into a deleted subtree.
+		x.parent = nil
+		x.types = x.types[:0]
+		s.entArena.put(x)
 	}
 	drop(e)
 	return nil
@@ -362,11 +403,22 @@ func (s *ModelSpace) NewRelation(name string, from, to *Entity) (*Relation, erro
 	if from.deleted || to.deleted {
 		return nil, fmt.Errorf("vpm: relation %q: deleted end", name)
 	}
-	r := &Relation{space: s, name: name, from: from, to: to}
+	r := s.relArena.get()
+	r.space, r.name, r.from, r.to = s, name, from, to
+	r.value = ""
+	r.deleted = false
 	s.relations[r] = struct{}{}
 	s.relSeq = append(s.relSeq, r)
-	s.fromIdx[from] = append(s.fromIdx[from], r)
-	s.toIdx[to] = append(s.toIdx[to], r)
+	fs, ok := s.fromIdx[from]
+	if !ok {
+		fs = s.getRelSlice()
+	}
+	s.fromIdx[from] = append(fs, r)
+	ts, ok := s.toIdx[to]
+	if !ok {
+		ts = s.getRelSlice()
+	}
+	s.toIdx[to] = append(ts, r)
 	s.notify(Event{Kind: RelationCreated, Relation: r})
 	return r, nil
 }
@@ -379,9 +431,45 @@ func (s *ModelSpace) DeleteRelation(r *Relation) {
 	}
 	r.deleted = true
 	delete(s.relations, r)
-	s.fromIdx[r.from] = removeRel(s.fromIdx[r.from], r)
-	s.toIdx[r.to] = removeRel(s.toIdx[r.to], r)
+	if rs := removeRel(s.fromIdx[r.from], r); len(rs) == 0 {
+		s.putRelSlice(rs)
+		delete(s.fromIdx, r.from)
+	} else {
+		s.fromIdx[r.from] = rs
+	}
+	if rs := removeRel(s.toIdx[r.to], r); len(rs) == 0 {
+		s.putRelSlice(rs)
+		delete(s.toIdx, r.to)
+	} else {
+		s.toIdx[r.to] = rs
+	}
+	s.deadRels++
 	s.notify(Event{Kind: RelationDeleted, Relation: r})
+	// Compact the creation-order log once deleted slots outnumber live
+	// relations; compaction is the only point where relation slots are
+	// recycled, so a deleted relation still listed in relSeq can never be
+	// resurrected as a different edge.
+	if s.deadRels >= 64 && s.deadRels > len(s.relations) {
+		s.compactRelSeq()
+	}
+}
+
+func (s *ModelSpace) compactRelSeq() {
+	w := 0
+	for _, r := range s.relSeq {
+		if r.deleted {
+			r.from, r.to = nil, nil
+			s.relArena.put(r)
+			continue
+		}
+		s.relSeq[w] = r
+		w++
+	}
+	for i := w; i < len(s.relSeq); i++ {
+		s.relSeq[i] = nil
+	}
+	s.relSeq = s.relSeq[:w]
+	s.deadRels = 0
 }
 
 func removeRel(rs []*Relation, r *Relation) []*Relation {
