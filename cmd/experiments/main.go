@@ -8,10 +8,10 @@
 //
 // Usage:
 //
-//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend|whatif|warm]
+//	experiments [-exp all|f3|f6|f7|f8|f9|f10|t1|paths|f11|f12|context|avail|rbd|qos|importance|sensitivity|cloud|scaling|dynamicity|cache|pathdisc|depend|whatif|warm|kbest]
 //	            [-bench-out BENCH_cache.json] [-pathdisc-out BENCH_pathdisc.json]
 //	            [-depend-out BENCH_depend.json] [-whatif-out BENCH_whatif.json]
-//	            [-warm-out BENCH_warm.json] [-smoke]
+//	            [-warm-out BENCH_warm.json] [-kbest-out BENCH_kbest.json] [-smoke]
 package main
 
 import (
@@ -34,13 +34,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend, whatif, warm)")
+	exp := flag.String("exp", "all", "experiment id (all, f3, f6, f7, f8, f9, f10, t1, paths, f11, f12, context, avail, rbd, qos, importance, sensitivity, cloud, scaling, dynamicity, cache, pathdisc, depend, whatif, warm, kbest)")
 	flag.StringVar(&benchOut, "bench-out", "BENCH_cache.json", "file for the cache experiment's JSON record (empty disables)")
 	flag.StringVar(&pathdiscOut, "pathdisc-out", "BENCH_pathdisc.json", "file for the pathdisc experiment's JSON record (empty disables)")
 	flag.StringVar(&dependOut, "depend-out", "BENCH_depend.json", "file for the depend experiment's JSON record (empty disables)")
 	flag.StringVar(&whatifOut, "whatif-out", "BENCH_whatif.json", "file for the whatif experiment's JSON record (empty disables)")
 	flag.StringVar(&warmOut, "warm-out", "BENCH_warm.json", "file for the warm experiment's JSON record (empty disables)")
-	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend, whatif and warm experiments to CI-sized sanity runs")
+	flag.StringVar(&kbestOut, "kbest-out", "BENCH_kbest.json", "file for the kbest experiment's JSON record (empty disables)")
+	flag.BoolVar(&dependSmoke, "smoke", false, "shrink the depend, whatif, warm and kbest experiments to CI-sized sanity runs")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -80,6 +81,7 @@ func experimentsList() []experiment {
 		{"depend", "Extension — compiled dependability kernel vs map-based analysis", expDepend},
 		{"whatif", "Extension — live-topology patching vs cold recompilation", expWhatIf},
 		{"warm", "Extension — allocation-free warm path vs per-request cold build", expWarm},
+		{"kbest", "Extension — budgeted k-best discovery vs full enumeration", expKBest},
 	}
 }
 

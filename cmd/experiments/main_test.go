@@ -84,8 +84,8 @@ func TestExperimentListComplete(t *testing.T) {
 		}
 		seen[e.id] = true
 	}
-	if len(seen) != 24 {
-		t.Errorf("experiments = %d, want 24", len(seen))
+	if len(seen) != 25 {
+		t.Errorf("experiments = %d, want 25", len(seen))
 	}
 }
 
@@ -121,6 +121,24 @@ func TestWarmSmoke(t *testing.T) {
 	for _, m := range []string{"cold-generate floor", "fat-tree k=8 scatter", "/api/v1/availability"} {
 		if !strings.Contains(out, m) {
 			t.Errorf("warm output missing %q in:\n%s", m, out)
+		}
+	}
+}
+
+// TestKBestSmoke runs the k-best benchmark in its CI shape: tiny meshes, a
+// shrunk hard limit, no artifact file. It guards the harness (both variants,
+// the limit-trip check, the work-budget probe), not the latency figures.
+func TestKBestSmoke(t *testing.T) {
+	oldSmoke, oldOut := dependSmoke, kbestOut
+	dependSmoke, kbestOut = true, ""
+	defer func() { dependSmoke, kbestOut = oldSmoke, oldOut }()
+	out, err := captureRun(t, "kbest")
+	if err != nil {
+		t.Fatalf("run(kbest): %v", err)
+	}
+	for _, m := range []string{"enumeration tripped hard limit", "k-best latency bound", "kind=kbest"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("kbest output missing %q in:\n%s", m, out)
 		}
 	}
 }

@@ -7,7 +7,8 @@
 //
 //	upsim casestudy  -model usi.xml -mapping table1.xml
 //	upsim inventory  -model usi.xml -diagram infrastructure
-//	upsim paths      -model usi.xml -diagram infrastructure -from t1 -to printS [-trace]
+//	upsim paths      -model usi.xml -diagram infrastructure -from t1 -to printS \
+//	                 [-k 5] [-cost hops|throughput] [-trace]
 //	upsim generate   -model usi.xml -diagram infrastructure -service printing \
 //	                 -mapping table1.xml -name upsim-t1-p2 [-dot out.dot] [-out model2.xml] [-trace]
 //	upsim avail      -model usi.xml -diagram infrastructure -service printing \
@@ -127,7 +128,7 @@ func usage() {
 commands:
   casestudy   write the built-in USI case-study model and Table I mapping
   inventory   summarise a model file (classes, diagrams, services)
-  paths       enumerate all simple paths between two components
+  paths       enumerate all simple paths between two components (-k for the k cheapest)
   generate    generate a UPSIM for a service, mapping and perspective
   avail       user-perceived availability analysis for a service mapping
   explain     provenance & attribution report: paths, discovery trees, cut sets, importances
@@ -242,12 +243,18 @@ func cmdPaths(args []string) error {
 	to := fs.String("to", "", "provider component")
 	maxDepth := fs.Int("maxdepth", 0, "bound path length in hops (0 = unbounded)")
 	maxPaths := fs.Int("maxpaths", 0, "stop after N paths (0 = unbounded)")
+	k := fs.Int("k", 0, "return the k cheapest paths instead of enumerating all (0 = enumerate)")
+	cost := fs.String("cost", "", `ranking metric for -k: "hops" (default) or "throughput"`)
 	trace := fs.Bool("trace", false, "print the span tree with per-stage timings after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" || *diagram == "" || *from == "" || *to == "" {
 		return fmt.Errorf("paths: -model, -diagram, -from and -to are required")
+	}
+	metric, err := upsim.ParseCostMetric(*cost)
+	if err != nil {
+		return fmt.Errorf("paths: %w", err)
 	}
 	m, err := loadModel(*modelPath)
 	if err != nil {
@@ -257,6 +264,26 @@ func cmdPaths(args []string) error {
 	gen, err := upsim.NewGeneratorContext(ctx, m, *diagram)
 	if err != nil {
 		return err
+	}
+	if *k > 0 {
+		// Ranked discovery runs on the generator's compiled kernel, which
+		// carries the stereotype cost view resolved at compile time.
+		_, disc := upsim.StartSpan(ctx, "step7.kbest")
+		paths, stats, err := gen.Compiled().KShortest(*from, *to,
+			upsim.PathOptions{K: *k, CostMetric: metric})
+		disc.SetAttr("paths", stats.Paths)
+		disc.SetAttr("edge_visits", stats.EdgeVisits)
+		disc.End()
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Printf("%-10.4g %s\n", gen.Compiled().PathCost(metric, p), p)
+		}
+		fmt.Printf("# %d paths by %s cost, %d nodes visited, %d edge visits\n",
+			len(paths), metric, stats.NodeVisits, stats.EdgeVisits)
+		printTrace()
+		return nil
 	}
 	g := gen.Graph()
 	_, disc := upsim.StartSpan(ctx, "step7.pathdisc")

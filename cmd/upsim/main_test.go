@@ -81,6 +81,31 @@ func TestCLIPaths(t *testing.T) {
 	}
 }
 
+func TestCLIPathsRanked(t *testing.T) {
+	modelPath, _ := withArtifacts(t)
+	out, err := capture(t, func() error {
+		return run([]string{"paths", "-model", modelPath, "-diagram", "infrastructure",
+			"-from", "t1", "-to", "printS", "-k", "1", "-cost", "throughput"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 returns just the cheapest path, with its cost leading the line.
+	if !strings.Contains(out, "# 1 paths by throughput cost") {
+		t.Errorf("ranked paths output:\n%s", out)
+	}
+	if !strings.Contains(out, "t1—") || !strings.Contains(out, "—printS") {
+		t.Errorf("ranked paths output lacks a path line:\n%s", out)
+	}
+	// An unknown metric is rejected.
+	if _, err := capture(t, func() error {
+		return run([]string{"paths", "-model", modelPath, "-diagram", "infrastructure",
+			"-from", "t1", "-to", "printS", "-k", "1", "-cost", "latency"})
+	}); err == nil {
+		t.Error("unknown -cost accepted")
+	}
+}
+
 func TestCLIGenerateAndAvail(t *testing.T) {
 	modelPath, mappingPath := withArtifacts(t)
 	dir := t.TempDir()

@@ -3,15 +3,21 @@
 //
 // Usage:
 //
-//	upsimd [-addr :8080] [-cache-size 128] [-batch-workers 0] [-pprof]
-//	       [-drain 10s] [-log-level info] [-log-json]
+//	upsimd [-addr :8080] [-cache-size 128] [-warm-size 128] [-batch-workers 0]
+//	       [-prewarm] [-pprof] [-drain 10s] [-log-level info] [-log-json]
 //
 // Caching:
 //
 // The generation-backed routes (generate, availability, qos, batch) share
 // one content-addressed result cache of -cache-size entries (LRU); repeated
 // identical requests skip the pipeline and concurrent identical requests
-// compute once. Watch upsim_cache_*_total on GET /metrics.
+// compute once. Watch upsim_cache_*_total on GET /metrics. The warm
+// byte-level lane (repeated analysis bodies replayed without JSON decode)
+// holds its responses in a dedicated LRU of -warm-size entries; watch
+// upsim_server_warm_{hits_total,entries,capacity}. With -prewarm (default
+// on) a generator for the built-in case-study model is parked in the pool
+// at boot, so the first request against it skips model import and kernel
+// compilation.
 //
 // Observability:
 //
@@ -59,7 +65,9 @@ import (
 type config struct {
 	addr         string
 	cacheSize    int
+	warmSize     int
 	batchWorkers int
+	prewarm      bool
 	pprof        bool
 	drain        time.Duration
 	logLevel     string
@@ -70,7 +78,9 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "generation cache capacity in entries (0 = default 128)")
+	flag.IntVar(&cfg.warmSize, "warm-size", 0, "warm-lane response cache capacity in entries (0 = default 128)")
 	flag.IntVar(&cfg.batchWorkers, "batch-workers", 0, "worker pool bound for /api/v1/batch (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.prewarm, "prewarm", true, "park a ready case-study generator in the pool at boot")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn or error")
@@ -115,7 +125,9 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	mux := http.NewServeMux()
 	mux.Handle("/", server.LoggingMiddleware(server.NewWithConfig(server.Config{
 		CacheSize:    cfg.cacheSize,
+		WarmSize:     cfg.warmSize,
 		BatchWorkers: cfg.batchWorkers,
+		Prewarm:      cfg.prewarm,
 	})))
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -87,9 +87,14 @@ func (g *Generator) CacheKey(svc *service.Composite, mp *mapping.Mapping, name s
 	// IS included: both kernels return the same path sets, but the compiled
 	// kernel prunes unreachable expansions, so the search-effort Stats (and
 	// therefore the Result) differ between them.
-	fmt.Fprintf(h, "\nopts=%s/%s paths={d=%d p=%d c=%t} disc=%t lint=%s legacy=%t\n",
+	// K, CostMetric and MaxWork all change the produced path set (ranked
+	// top-k under a metric vs full enumeration; the work budget decides
+	// whether the request errors), so they key the cache like the other
+	// path options.
+	fmt.Fprintf(h, "\nopts=%s/%s paths={d=%d p=%d c=%t k=%d cost=%s work=%d} disc=%t lint=%s legacy=%t\n",
 		opts.Algorithm, opts.Merge,
 		opts.Paths.MaxDepth, opts.Paths.MaxPaths, opts.Paths.CollapseParallel,
+		opts.Paths.K, opts.Paths.CostMetric, opts.Paths.MaxWork,
 		opts.AllowDisconnected, opts.Lint, opts.LegacyKernel)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -306,12 +306,28 @@ func NewGeneratorContext(ctx context.Context, m *uml.Model, diagramName string) 
 	// Compile the CSR kernel once per model: every Generate call — across
 	// mapping pairs, user perspectives and batch items — reuses it, so the
 	// string-to-index lowering and the adjacency layout are paid exactly once.
+	compiled := pathdisc.Compile(g)
+	// Install the ranked-discovery cost view from the diagram's stereotype
+	// attributes, resolved once here, never during search. Edge ID i is
+	// links[i] (topology.FromObjectDiagram), so patched-in edges with IDs
+	// beyond the diagram resolve to the hop fallback — identically on a
+	// patched kernel and on a recompile of the mutated graph.
+	links := d.Links()
+	compiled.SetEdgeCosts(func(edgeID int) (float64, bool) {
+		if edgeID < 0 || edgeID >= len(links) {
+			return 0, false
+		}
+		if tp, ok := links[edgeID].Property("throughput"); ok && tp.AsReal() > 0 {
+			return tp.AsReal(), true
+		}
+		return 0, false
+	})
 	return &Generator{
 		model:       m,
 		diagramName: diagramName,
 		space:       space,
 		graph:       g,
-		compiled:    pathdisc.Compile(g),
+		compiled:    compiled,
 	}, nil
 }
 
@@ -577,6 +593,13 @@ func (g *Generator) lintGate(ctx context.Context, svc *service.Composite, mp *ma
 }
 
 func (g *Generator) discover(req, prov string, opts Options) ([]pathdisc.Path, pathdisc.Stats, error) {
+	if opts.Paths.K > 0 {
+		// Ranked discovery: the K cheapest paths under the stereotype cost
+		// view replace the full enumeration — Step 7 with a bounded work
+		// envelope instead of an exponential sweep. Ranked mode lives only
+		// on the compiled kernel; LegacyKernel has no ranked counterpart.
+		return g.compiled.KShortest(req, prov, opts.Paths)
+	}
 	if !opts.LegacyKernel {
 		switch opts.Algorithm {
 		case AlgoRecursive:

@@ -38,6 +38,7 @@ import (
 	"upsim/internal/depend"
 	"upsim/internal/obs"
 	"upsim/internal/pathdisc"
+	"upsim/internal/uml"
 )
 
 // Explain metrics: report assembly latency by mode and kernel, the path-type
@@ -344,29 +345,16 @@ func serviceProvenance(res *core.Result, sp core.ServicePaths) (ServiceProvenanc
 			}
 			rec.Classes[node.Class]++
 		}
-		seenChannel := make(map[string]bool)
 		for _, id := range p.Edges {
 			if id < 0 || id >= len(links) {
 				return out, fmt.Errorf("explain: path references unknown edge %d", id)
 			}
-			l := links[id]
 			if rec.Links == nil {
 				rec.Links = make(map[string]int)
 			}
-			rec.Links[l.Association().Name()]++
-			if tp, ok := l.Property("throughput"); ok && tp.AsReal() > 0 {
-				rec.Cost += 1 / tp.AsReal()
-				if rec.BottleneckMbps == 0 || tp.AsReal() < rec.BottleneckMbps {
-					rec.BottleneckMbps = tp.AsReal()
-				}
-			} else {
-				rec.Cost++
-			}
-			if ch, ok := l.Property("channel"); ok && ch.AsString() != "" && !seenChannel[ch.AsString()] {
-				seenChannel[ch.AsString()] = true
-				rec.Channels = append(rec.Channels, ch.AsString())
-			}
+			rec.Links[links[id].Association().Name()]++
 		}
+		rec.Cost, rec.BottleneckMbps, rec.Channels = PathMetrics(links, p)
 		out.Paths = append(out.Paths, rec)
 	}
 	tree, err := BuildTree(res, sp)
@@ -375,6 +363,55 @@ func serviceProvenance(res *core.Result, sp core.ServicePaths) (ServiceProvenanc
 	}
 	out.Tree = tree
 	return out, nil
+}
+
+// PathMetrics computes the stereotype-derived metrics of one discovered path
+// against the diagram's link list (topology edge ID i is links[i]):
+//
+//   - cost: the sum of per-edge costs, where an edge with a positive
+//     `throughput` attribute costs 1/throughput and any other edge costs 1
+//     — the same convention the ranked-discovery kernel resolves at compile
+//     time (pathdisc.CostThroughput). The sum is folded right-to-left,
+//     matching pathdisc.Compiled.PathCost term-for-term, so the number here
+//     is bit-identical to the kernel's ranking cost.
+//   - bottleneckMbps: the minimum positive throughput along the path (0 when
+//     no edge declares one).
+//   - channels: the distinct non-empty `channel` attribute values in
+//     traversal order.
+//
+// Edge IDs outside the link list (possible for what-if patched-in edges that
+// have no diagram counterpart) fall back to hop cost 1, exactly like the
+// kernel's fallback.
+func PathMetrics(links []*uml.Link, p pathdisc.Path) (cost, bottleneckMbps float64, channels []string) {
+	for i := len(p.Edges) - 1; i >= 0; i-- {
+		id := p.Edges[i]
+		if id < 0 || id >= len(links) {
+			cost = 1 + cost
+			continue
+		}
+		if tp, ok := links[id].Property("throughput"); ok && tp.AsReal() > 0 {
+			cost = 1/tp.AsReal() + cost
+			if bottleneckMbps == 0 || tp.AsReal() < bottleneckMbps {
+				bottleneckMbps = tp.AsReal()
+			}
+		} else {
+			cost = 1 + cost
+		}
+	}
+	var seenChannel map[string]bool
+	for _, id := range p.Edges {
+		if id < 0 || id >= len(links) {
+			continue
+		}
+		if ch, ok := links[id].Property("channel"); ok && ch.AsString() != "" && !seenChannel[ch.AsString()] {
+			if seenChannel == nil {
+				seenChannel = make(map[string]bool)
+			}
+			seenChannel[ch.AsString()] = true
+			channels = append(channels, ch.AsString())
+		}
+	}
+	return cost, bottleneckMbps, channels
 }
 
 // attribute runs the availability attribution on the selected kernel.

@@ -73,7 +73,17 @@ type Compiled struct {
 	numEdges  int
 	liveNodes int // names minus tombstoned slots (see patch.go)
 	maxDegree int
+	maxEdgeID int     // largest topology edge ID seen (IDs are never reused)
 	branching float64 // mean adjacency entries per node (2E/N)
+
+	// Stereotype cost view of ranked discovery (kbest.go): per-edge-ID
+	// traversal cost and throughput, resolved once by SetEdgeCosts (and per
+	// patched-in edge via the retained resolver), indexed by topology edge
+	// ID. Nil until SetEdgeCosts installs a view; CostThroughput then falls
+	// back to hop costs.
+	costOf   []float64
+	costMbps []float64
+	costFn   EdgeCostFunc
 
 	// pool holds *scratch sized for the current node count. It is a pointer
 	// so PatchAddNode can swap in a freshly-sized pool when the node count
@@ -92,6 +102,18 @@ type scratch struct {
 	nodes   []int32
 	edges   []int32
 	frames  []csrFrame
+
+	// Ranked-discovery state (kbest.go): the Dijkstra distance table and
+	// frontier heap, the blocked-edge bitset (all zero between uses, like
+	// visited), and the candidate storage Yen's algorithm accumulates into
+	// — an int32 arena plus the accepted/candidate path slices referencing
+	// it. All reused across enumerations.
+	fdist  []float64
+	kheap  []kheapEntry
+	eblock []uint64
+	karena []int32
+	kacc   []kpath
+	kcand  []kpath
 }
 
 type csrFrame struct {
@@ -138,6 +160,9 @@ func Compile(g *topology.Graph) *Compiled {
 			c.adjNode[pos] = o
 			c.adjEdge[pos] = int32(id)
 			pos++
+			if id > c.maxEdgeID {
+				c.maxEdgeID = id
+			}
 			if seen[o] {
 				parallel = true
 			}
@@ -205,6 +230,7 @@ func (c *Compiled) resetPool() {
 			queue:   make([]int32, 0, n),
 			nodes:   make([]int32, 0, 16),
 			edges:   make([]int32, 0, 16),
+			fdist:   make([]float64, n),
 		}
 	}}
 }
@@ -216,9 +242,14 @@ func (c *Compiled) getScratch() *scratch { return c.pool.Get().(*scratch) }
 // reuse; dist is refilled per enumeration) and returns s to the pool.
 func (c *Compiled) putScratch(s *scratch) {
 	clear(s.visited)
+	clear(s.eblock)
 	s.nodes = s.nodes[:0]
 	s.edges = s.edges[:0]
 	s.frames = s.frames[:0]
+	s.kheap = s.kheap[:0]
+	s.karena = s.karena[:0]
+	s.kacc = s.kacc[:0]
+	s.kcand = s.kcand[:0]
 	c.pool.Put(s)
 }
 

@@ -75,6 +75,19 @@ func (c *Compiled) PatchAddEdge(a, b string, edgeID int) error {
 	c.insertAdj(ai, bi, int32(edgeID))
 	c.insertAdj(bi, ai, int32(edgeID))
 	c.numEdges++
+	if edgeID > c.maxEdgeID {
+		c.maxEdgeID = edgeID
+	}
+	// Keep the ranked-discovery cost view coherent: resolve the new edge
+	// through the retained resolver, exactly as a fresh Compile +
+	// SetEdgeCosts of the mutated graph would (TestKShortestPatchCoherence).
+	if c.costFn != nil {
+		for len(c.costOf) <= edgeID {
+			c.costOf = append(c.costOf, 1)
+			c.costMbps = append(c.costMbps, 0)
+		}
+		c.resolveCost(edgeID)
+	}
 	c.afterPatch()
 	mPatch.With("add-edge").Inc()
 	return nil

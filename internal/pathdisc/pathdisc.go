@@ -111,21 +111,67 @@ type Options struct {
 	// declared that an enumeration this large is a mistake (a dense mesh fed
 	// to an interactive endpoint), not an answer to return partially.
 	HardMaxPaths int
+
+	// K switches discovery to the ranked mode (Compiled.KShortest): return
+	// the K cheapest simple paths under CostMetric instead of enumerating
+	// all of them. 0 (the default) means full enumeration; the enumeration
+	// entry points ignore it.
+	K int
+	// CostMetric selects the edge-cost model of ranked discovery. The zero
+	// value CostHops ranks by hop count; CostThroughput uses the stereotype
+	// cost view installed by SetEdgeCosts. Ignored by the enumeration entry
+	// points.
+	CostMetric CostMetric
+	// MaxWork bounds the ranked search's K·V·E work estimate; exceeding it
+	// returns a *LimitError with Kind LimitKBest before any search runs. 0
+	// disables the bound. Ignored by the enumeration entry points.
+	MaxWork int
 }
 
-// LimitError reports an enumeration aborted by Options.HardMaxPaths: the
-// graph holds more than Limit simple paths between the pair. It mirrors the
-// structured depend.BudgetError contract so callers can surface the pair and
-// the limit without parsing the message.
+// Limit-error kinds: which budget aborted the search. The zero value (the
+// empty string) is normalised to LimitPaths so errors constructed before
+// ranked discovery existed keep their meaning.
+const (
+	// LimitPaths is the enumeration hard limit (Options.HardMaxPaths).
+	LimitPaths = "paths"
+	// LimitKBest is the ranked-discovery work envelope (Options.MaxWork).
+	LimitKBest = "kbest"
+)
+
+// LimitError reports a search aborted by a budget: the enumeration hard
+// limit (Kind LimitPaths — the graph holds more than Limit simple paths
+// between the pair) or the ranked-discovery work envelope (Kind LimitKBest
+// — the K·V·E estimate Need exceeds Limit). It mirrors the structured
+// depend.BudgetError contract so callers can surface the pair, the kind and
+// the sizes without parsing the message.
 type LimitError struct {
-	// Src and Dst are the enumeration endpoints.
+	// Src and Dst are the search endpoints.
 	Src, Dst string
-	// Limit is the HardMaxPaths bound that was exceeded.
+	// Kind names the exceeded budget (LimitPaths, LimitKBest); empty means
+	// LimitPaths.
+	Kind string
+	// Need is the estimated work or path count that exceeded the budget
+	// (0 when unknown: the enumeration aborts at Limit+1 without counting
+	// further).
+	Need int
+	// Limit is the bound that was exceeded.
 	Limit int
+}
+
+// BudgetKind returns the exceeded budget's kind with the empty value
+// normalised to LimitPaths.
+func (e *LimitError) BudgetKind() string {
+	if e.Kind == "" {
+		return LimitPaths
+	}
+	return e.Kind
 }
 
 // Error renders the limit failure.
 func (e *LimitError) Error() string {
+	if e.BudgetKind() == LimitKBest {
+		return fmt.Sprintf("pathdisc: ranked discovery between %q and %q needs ~%d work units (limit %d); lower k or raise the work budget", e.Src, e.Dst, e.Need, e.Limit)
+	}
 	return fmt.Sprintf("pathdisc: more than %d simple paths between %q and %q; raise the hard limit or bound the search with maxDepth/maxPaths", e.Limit, e.Src, e.Dst)
 }
 

@@ -2,6 +2,9 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -9,6 +12,8 @@ import (
 
 	"upsim/internal/cache"
 	"upsim/internal/core"
+	"upsim/internal/depend"
+	"upsim/internal/pathdisc"
 )
 
 // MaxBatchItems bounds one POST /api/v1/batch request.
@@ -19,19 +24,23 @@ const (
 	OpGenerate     = "generate"
 	OpAvailability = "availability"
 	OpQoS          = "qos"
+	OpPaths        = "paths"
 )
 
 // BatchItem is one generation-backed request inside a batch. The fields
-// mirror the single-request routes: every item carries the generate inputs
-// (modelXml, diagram, service, mappingXml, name, allowDisconnected); the
-// availability knobs (formula1, mcSamples, seed) and the qos knob (maxHops)
-// apply only to their respective ops and are ignored otherwise.
+// mirror the single-request routes: every item carries the model inputs
+// (modelXml, diagram); the generate ops additionally take service,
+// mappingXml, name and allowDisconnected; the availability knobs (formula1,
+// mcSamples, seed) and the qos knob (maxHops) apply only to their
+// respective ops; op "paths" takes from/to plus the discovery knobs
+// (maxDepth, maxPaths — or k and cost for ranked discovery) and needs no
+// service or mapping.
 type BatchItem struct {
 	Op                string `json:"op,omitempty"`
 	ModelXML          string `json:"modelXml"`
 	Diagram           string `json:"diagram"`
-	Service           string `json:"service"`
-	MappingXML        string `json:"mappingXml"`
+	Service           string `json:"service,omitempty"`
+	MappingXML        string `json:"mappingXml,omitempty"`
 	Name              string `json:"name,omitempty"`
 	AllowDisconnected bool   `json:"allowDisconnected,omitempty"`
 	Formula1          bool   `json:"formula1,omitempty"`
@@ -39,6 +48,12 @@ type BatchItem struct {
 	Seed              int64  `json:"seed,omitempty"`
 	LegacyKernel      bool   `json:"legacyKernel,omitempty"`
 	MaxHops           int    `json:"maxHops,omitempty"`
+	From              string `json:"from,omitempty"`
+	To                string `json:"to,omitempty"`
+	MaxDepth          int    `json:"maxDepth,omitempty"`
+	MaxPaths          int    `json:"maxPaths,omitempty"`
+	K                 int    `json:"k,omitempty"`
+	Cost              string `json:"cost,omitempty"`
 }
 
 // BatchRequest is the POST /api/v1/batch body.
@@ -58,6 +73,11 @@ type BatchResult struct {
 	Op     string `json:"op"`
 	Result any    `json:"result,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Budget carries the structured budget detail when Error reports an
+	// analysis or discovery budget overflow — the same shape the single
+	// routes return as their 422 body, so a batch client can read kind,
+	// need and limit without parsing the error string.
+	Budget *budgetErrorResponse `json:"budget,omitempty"`
 }
 
 // BatchResponse is the POST /api/v1/batch reply.
@@ -67,7 +87,8 @@ type BatchResponse struct {
 	// failures are data, not transport errors).
 	Errors int `json:"errors"`
 	// Cache snapshots the shared cache after the batch, so a client can see
-	// how much of its fan-out was deduplicated.
+	// how much of its fan-out was deduplicated. (A warm-lane replay of an
+	// identical batch repeats the snapshot memoised with the response.)
 	Cache cache.Stats `json:"cache"`
 }
 
@@ -79,13 +100,15 @@ type BatchResponse struct {
 // `upsim batch` subcommand, which executes request files in-process against
 // its own cache.
 func RunBatch(ctx context.Context, c *cache.Cache, workers int, req *BatchRequest) (*BatchResponse, error) {
-	return runBatch(ctx, c, nil, workers, req)
+	return runBatch(ctx, c, nil, nil, workers, req)
 }
 
-// runBatch is RunBatch with an optional generator pool: the HTTP handler
-// passes the server's pool so items of the same model reuse one imported
-// model space, while the exported entry point builds generators fresh.
-func runBatch(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, workers int, req *BatchRequest) (*BatchResponse, error) {
+// runBatch is RunBatch with an optional generator pool and warm cache: the
+// HTTP handler passes the server's pool so items of the same model reuse
+// one imported model space, and the warm cache so repeated items replay
+// their memoised result (see runBatchItem). The exported entry point builds
+// generators fresh and skips the warm lane.
+func runBatch(ctx context.Context, c, warm *cache.Cache, p *core.GeneratorPool, workers int, req *BatchRequest) (*BatchResponse, error) {
 	if len(req.Items) == 0 {
 		return nil, fmt.Errorf("batch: items is required")
 	}
@@ -110,7 +133,7 @@ func runBatch(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, worker
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
-				results[i] = runBatchItem(ctx, c, p, i, &req.Items[i])
+				results[i] = runBatchItem(ctx, c, warm, p, i, &req.Items[i])
 			}
 		}()
 	}
@@ -129,9 +152,45 @@ func runBatch(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, worker
 	return resp, nil
 }
 
+// itemWarmKey derives the warm-lane key of one batch item from its
+// canonical JSON encoding ("" when the warm lane is off). Op normalisation
+// happens before the call, so op "" and op "generate" share a key.
+func itemWarmKey(warm *cache.Cache, it *BatchItem) string {
+	if warm == nil {
+		return ""
+	}
+	b, err := json.Marshal(it)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return warmPrefixItem + hex.EncodeToString(sum[:])
+}
+
+// failBatchItem records an item failure, decorating budget overflows with
+// the structured detail the single routes return as their 422 body.
+func failBatchItem(out BatchResult, err error) BatchResult {
+	out.Error = err.Error()
+	if be, ok := depend.AsBudgetError(err); ok {
+		out.Budget = &budgetErrorResponse{
+			errorResponse: errorResponse{Error: be.Error()},
+			Kind:          string(be.Kind),
+			AtomicService: be.AtomicService,
+			Need:          be.Need,
+			Limit:         be.Limit,
+		}
+	} else if le, ok := pathdisc.AsLimitError(err); ok {
+		out.Budget = pathsBudgetResponse(le)
+	}
+	return out
+}
+
 // runBatchItem executes one item. A cancelled ctx fails remaining items fast
-// (the pipeline itself also honours ctx).
-func runBatchItem(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, i int, it *BatchItem) BatchResult {
+// (the pipeline itself also honours ctx). Items ride the warm lane like the
+// top-level analysis POSTs: a repeated item (keyed by its canonical JSON)
+// replays its memoised result without generation or analysis, even when the
+// surrounding batch differs.
+func runBatchItem(ctx context.Context, c, warm *cache.Cache, p *core.GeneratorPool, i int, it *BatchItem) BatchResult {
 	out := BatchResult{Index: i, Op: it.Op}
 	if out.Op == "" {
 		out.Op = OpGenerate
@@ -141,10 +200,21 @@ func runBatchItem(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, i 
 		return out
 	}
 	switch out.Op {
-	case OpGenerate, OpAvailability, OpQoS:
+	case OpGenerate, OpAvailability, OpQoS, OpPaths:
 	default:
-		out.Error = fmt.Sprintf("unknown op %q (want %s, %s or %s)", it.Op, OpGenerate, OpAvailability, OpQoS)
+		out.Error = fmt.Sprintf("unknown op %q (want %s, %s, %s or %s)", it.Op, OpGenerate, OpAvailability, OpQoS, OpPaths)
 		return out
+	}
+	wkey := itemWarmKey(warm, it)
+	if wkey != "" {
+		if v, ok := warm.Get(wkey); ok {
+			mWarmHits.With("/api/v1/batch").Inc()
+			out.Result = v
+			return out
+		}
+	}
+	if out.Op == OpPaths {
+		return runBatchPaths(ctx, warm, wkey, p, out, it)
 	}
 	greq := &generateRequest{
 		modelInput:        modelInput{ModelXML: it.ModelXML, Diagram: it.Diagram},
@@ -155,8 +225,7 @@ func runBatchItem(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, i 
 	}
 	res, genKey, err := greq.generate(ctx, c, p)
 	if err != nil {
-		out.Error = err.Error()
-		return out
+		return failBatchItem(out, err)
 	}
 	switch out.Op {
 	case OpGenerate:
@@ -164,17 +233,55 @@ func runBatchItem(ctx context.Context, c *cache.Cache, p *core.GeneratorPool, i 
 	case OpAvailability:
 		resp, err := analyzeAvailability(ctx, c, genKey, res, it.Formula1, it.MCSamples, it.Seed, it.LegacyKernel)
 		if err != nil {
-			out.Error = err.Error()
-			return out
+			return failBatchItem(out, err)
 		}
 		out.Result = resp.value
 	case OpQoS:
 		resp, err := analyzeQoS(ctx, c, genKey, res, it.MaxHops)
 		if err != nil {
-			out.Error = err.Error()
-			return out
+			return failBatchItem(out, err)
 		}
 		out.Result = resp.value
+	}
+	if wkey != "" {
+		warm.Add(wkey, out.Result)
+	}
+	return out
+}
+
+// runBatchPaths executes one op "paths" item: path discovery (full or
+// ranked) without a service or mapping, mirroring POST /api/v1/paths.
+func runBatchPaths(ctx context.Context, warm *cache.Cache, wkey string, p *core.GeneratorPool, out BatchResult, it *BatchItem) BatchResult {
+	in := modelInput{ModelXML: it.ModelXML, Diagram: it.Diagram}
+	var gen *core.Generator
+	if p != nil {
+		if err := in.validate(); err != nil {
+			return failBatchItem(out, err)
+		}
+		g, err := p.Acquire(ctx, in.ModelXML, in.Diagram)
+		if err != nil {
+			return failBatchItem(out, err)
+		}
+		defer p.Release(g)
+		gen = g
+	} else {
+		_, g, err := in.load(ctx)
+		if err != nil {
+			return failBatchItem(out, err)
+		}
+		gen = g
+	}
+	resp, err := computePaths(gen, it.Diagram, &pathsRequest{
+		From: it.From, To: it.To,
+		MaxDepth: it.MaxDepth, MaxPaths: it.MaxPaths,
+		K: it.K, Cost: it.Cost,
+	})
+	if err != nil {
+		return failBatchItem(out, err)
+	}
+	out.Result = resp
+	if wkey != "" {
+		warm.Add(wkey, out.Result)
 	}
 	return out
 }
@@ -184,10 +291,18 @@ func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := runBatch(r.Context(), a.cache, a.generators, a.batchWorkers, &req)
+	resp, err := runBatch(r.Context(), a.cache, a.warm, a.generators, a.batchWorkers, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Encode once and publish under the whole-body warm key, so a repeated
+	// identical batch replays these bytes without decoding or fan-out.
+	enc, err := encodeResponse("/api/v1/batch", resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeRawJSON(w, http.StatusOK, enc.body)
+	a.storeWarm(r, enc)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -79,8 +80,9 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 // TestBatchDedupAndWarmCache asserts the advertised fan-out semantics: N
-// identical items compute once within a batch, and a repeated batch is
-// served entirely from the warm cache.
+// identical items compute the pipeline once (the survivors dedup through
+// the shared cache or the per-item warm lane), and a repeated identical
+// batch replays the memoised response bytes without decoding or fan-out.
 func TestBatchDedupAndWarmCache(t *testing.T) {
 	ts := httptest.NewServer(New())
 	defer ts.Close()
@@ -93,34 +95,33 @@ func TestBatchDedupAndWarmCache(t *testing.T) {
 	}
 	req := map[string]any{"items": items, "workers": 4}
 
-	resp, body := postJSON(t, ts, "/api/v1/batch", req)
+	resp, coldBody := postJSON(t, ts, "/api/v1/batch", req)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		t.Fatalf("status = %d, body %s", resp.StatusCode, coldBody)
 	}
 	var cold BatchResponse
-	if err := json.Unmarshal(body, &cold); err != nil {
+	if err := json.Unmarshal(coldBody, &cold); err != nil {
 		t.Fatal(err)
 	}
 	if cold.Errors != 0 {
-		t.Fatalf("cold errors = %d, body %s", cold.Errors, body)
+		t.Fatalf("cold errors = %d, body %s", cold.Errors, coldBody)
 	}
-	if cold.Cache.Misses != 1 || cold.Cache.Hits+cold.Cache.Shared != n-1 {
-		t.Errorf("cold cache = %s; want 1 miss and %d hits+shared", cold.Cache, n-1)
+	// One pipeline run no matter how the 8 items interleave: the shared
+	// cache records exactly one generation miss. (How the other 7 dedup —
+	// cache hit, singleflight share or per-item warm replay — depends on
+	// worker timing, so only the miss count is pinned.)
+	if cold.Cache.Misses != 1 {
+		t.Errorf("cold cache = %s; want exactly 1 miss", cold.Cache)
 	}
 
-	resp, body = postJSON(t, ts, "/api/v1/batch", req)
+	// The repeated batch rides the whole-body warm lane: the memoised bytes
+	// (including the embedded cache-stats snapshot) replay verbatim.
+	resp, warmBody := postJSON(t, ts, "/api/v1/batch", req)
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("warm status = %d, body %s", resp.StatusCode, body)
+		t.Fatalf("warm status = %d, body %s", resp.StatusCode, warmBody)
 	}
-	var warm BatchResponse
-	if err := json.Unmarshal(body, &warm); err != nil {
-		t.Fatal(err)
-	}
-	if warm.Cache.Misses != 1 {
-		t.Errorf("warm batch recomputed: misses = %d, want still 1", warm.Cache.Misses)
-	}
-	if warm.Cache.Hits < uint64(n) {
-		t.Errorf("warm batch hits = %d, want >= %d", warm.Cache.Hits, n)
+	if !bytes.Equal(warmBody, coldBody) {
+		t.Errorf("warm batch response differs from memoised cold response:\ncold: %s\nwarm: %s", coldBody, warmBody)
 	}
 }
 

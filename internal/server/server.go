@@ -13,7 +13,9 @@
 //	GET  /debug/vars                   expvar JSON, including the obs snapshot
 //	GET  /api/v1/casestudy/model       built-in USI model (XML)
 //	GET  /api/v1/casestudy/mapping     built-in Table I mapping (XML)
-//	POST /api/v1/paths                 all simple paths between two components
+//	GET  /api/v1/paths                 paths through the built-in case-study model
+//	POST /api/v1/paths                 all simple paths — or the k cheapest under a
+//	                                   cost metric — between two components
 //	POST /api/v1/generate              generate a UPSIM
 //	POST /api/v1/availability          generate + Section VII analysis
 //	POST /api/v1/qos                   performability + responsiveness
@@ -21,8 +23,9 @@
 //	                                   "validate" checks a generation against a
 //	                                   current topology instead)
 //	POST /api/v1/lint                  static-analysis report for model, service and mapping
-//	POST /api/v1/batch                 many generate/availability/qos items, fanned
-//	                                   out across a worker pool through the shared cache
+//	POST /api/v1/batch                 many generate/availability/qos/paths items,
+//	                                   fanned out across a worker pool through the
+//	                                   shared cache
 //	POST /api/v1/whatif                live-topology what-if: failure impact, permanent
 //	                                   topology deltas with targeted cache invalidation,
 //	                                   critical-component ranking (internal/whatif)
@@ -48,6 +51,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -81,20 +85,63 @@ type Config struct {
 	// <= 0 selects runtime.GOMAXPROCS(0). A request's own "workers" field
 	// overrides it.
 	BatchWorkers int
+	// WarmSize bounds the dedicated warm-lane response cache (entries);
+	// <= 0 selects cache.DefaultMaxEntries. The warm lane used to share the
+	// generation cache; a dedicated bound keeps a flood of distinct request
+	// bodies from evicting generation results (and vice versa).
+	WarmSize int
+	// Prewarm builds a generator for the built-in case-study model at
+	// construction time and parks it in the pool, so the first request
+	// referencing that model (GET /api/v1/paths always does) skips XML
+	// decode, VPM import and CSR compilation.
+	Prewarm bool
 }
 
 // api is the per-handler shared state: the content-addressed result cache
-// every generation-backed route runs through, the generator pool that
-// recycles imported model spaces across requests of the same model, and the
-// batch pool bound.
+// every generation-backed route runs through, the dedicated warm-lane
+// response cache, the generator pool that recycles imported model spaces
+// across requests of the same model, and the batch pool bound.
 type api struct {
 	cache        *cache.Cache
+	warm         *cache.Cache
 	generators   *core.GeneratorPool
 	batchWorkers int
 }
 
 // New returns the HTTP handler serving the API with the default Config.
 func New() http.Handler { return NewWithConfig(Config{}) }
+
+// newAPI builds the shared handler state (split from NewWithConfig so tests
+// can reach the pool and the warm cache directly).
+func newAPI(cfg Config) *api {
+	c := cache.New(cfg.CacheSize)
+	a := &api{
+		cache:        c,
+		warm:         cache.New(cfg.WarmSize),
+		generators:   core.NewGeneratorPool(c, 0, 0),
+		batchWorkers: cfg.BatchWorkers,
+	}
+	mWarmCapacity.With().Set(int64(a.warm.Stats().MaxEntries))
+	if cfg.Prewarm {
+		a.prewarm()
+	}
+	return a
+}
+
+// prewarm parks a ready generator for the built-in case-study model in the
+// pool. Failures are ignored: prewarming is an optimisation, and the model
+// is built from source so it cannot actually fail.
+func (a *api) prewarm() {
+	xml, err := caseStudyXML()
+	if err != nil {
+		return
+	}
+	g, err := a.generators.Acquire(context.Background(), xml, casestudy.DiagramName)
+	if err != nil {
+		return
+	}
+	a.generators.Release(g)
+}
 
 // NewWithConfig returns the HTTP handler serving the API.
 func NewWithConfig(cfg Config) http.Handler {
@@ -103,8 +150,11 @@ func NewWithConfig(cfg Config) http.Handler {
 			return obs.DefaultRegistry().Snapshot()
 		}))
 	})
-	c := cache.New(cfg.CacheSize)
-	a := &api{cache: c, generators: core.NewGeneratorPool(c, 0, 0), batchWorkers: cfg.BatchWorkers}
+	return newAPI(cfg).routes()
+}
+
+// routes assembles the mux over the shared state.
+func (a *api) routes() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, instrument(route, h))
@@ -118,13 +168,14 @@ func NewWithConfig(cfg Config) http.Handler {
 	handle("GET /healthz", "/healthz", handleHealth)
 	handle("GET /api/v1/casestudy/model", "/api/v1/casestudy/model", handleCaseStudyModel)
 	handle("GET /api/v1/casestudy/mapping", "/api/v1/casestudy/mapping", handleCaseStudyMapping)
+	handle("GET /api/v1/paths", "/api/v1/paths", a.handlePathsGet)
 	handle("POST /api/v1/paths", "/api/v1/paths", a.handlePaths)
 	handle("POST /api/v1/generate", "/api/v1/generate", a.handleGenerate)
 	warm("POST /api/v1/availability", "/api/v1/availability", warmPrefixAvailability, a.handleAvailability)
 	warm("POST /api/v1/qos", "/api/v1/qos", warmPrefixQoS, a.handleQoS)
 	warm("POST /api/v1/explain", "/api/v1/explain", warmPrefixExplain, a.handleExplain)
 	handle("POST /api/v1/lint", "/api/v1/lint", handleLint)
-	handle("POST /api/v1/batch", "/api/v1/batch", a.handleBatch)
+	warm("POST /api/v1/batch", "/api/v1/batch", warmPrefixBatch, a.handleBatch)
 	handle("POST /api/v1/whatif", "/api/v1/whatif", a.handleWhatIf)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -290,17 +341,43 @@ func (in *modelInput) load(ctx context.Context) (*uml.Model, *core.Generator, er
 	return m, gen, nil
 }
 
-// pathsRequest asks for all simple paths between two components.
+// pathsRequest asks for simple paths between two components: all of them
+// (the default), or — k > 0 — the k cheapest under a cost metric.
 type pathsRequest struct {
 	modelInput
 	From     string `json:"from"`
 	To       string `json:"to"`
 	MaxDepth int    `json:"maxDepth,omitempty"`
 	MaxPaths int    `json:"maxPaths,omitempty"`
+	// K switches to ranked discovery: the k cheapest paths under Cost,
+	// found by the budgeted k-best kernel instead of full enumeration.
+	// MaxDepth and MaxPaths do not apply in ranked mode.
+	K int `json:"k,omitempty"`
+	// Cost selects the ranking metric: "hops" (default) or "throughput"
+	// (each link costs 1/throughput from its Communication stereotype,
+	// plain links cost 1).
+	Cost string `json:"cost,omitempty"`
+}
+
+// rankedPathJSON is one ranked-discovery result: the hop sequence plus the
+// stereotype-derived metrics joined from the provenance layer.
+type rankedPathJSON struct {
+	Path string `json:"path"`
+	Hops int    `json:"hops"`
+	// Cost is the path's cost under the requested metric — the exact value
+	// the kernel ranked by.
+	Cost float64 `json:"cost"`
+	// BottleneckMbps is the smallest declared throughput along the path (0
+	// when no link declares one).
+	BottleneckMbps float64 `json:"bottleneckMbps,omitempty"`
+	// Channels lists the distinct channel attributes in traversal order.
+	Channels []string `json:"channels,omitempty"`
 }
 
 // pathsResponse returns the enumeration together with the full discovery
-// instrumentation (the Stats the seed silently dropped).
+// instrumentation (the Stats the seed silently dropped). In ranked mode
+// (k > 0) Ranked carries the per-path cost records and Paths the same hop
+// sequences in rank order.
 type pathsResponse struct {
 	Paths        []string `json:"paths"`
 	PathCount    int      `json:"pathCount"`
@@ -309,6 +386,10 @@ type pathsResponse struct {
 	MaxStack     int      `json:"maxStack"`
 	Pruned       int      `json:"pruned"`
 	Truncated    bool     `json:"truncated"`
+	// CostMetric echoes the ranking metric in ranked mode.
+	CostMetric string `json:"costMetric,omitempty"`
+	// Ranked carries the per-path records in ranked mode.
+	Ranked []rankedPathJSON `json:"ranked,omitempty"`
 	// PathStats aggregates the enumeration: length spread and the
 	// direct/transitive split plus the depth histogram (internal/explain).
 	PathStats explain.PathStatistics `json:"pathStats"`
@@ -319,6 +400,108 @@ type pathsResponse struct {
 // unbounded (potentially memory-exhausting) search that used to surface as a
 // bare 500. Variable so tests can lower it.
 var pathsHardLimit = 1 << 20
+
+// pathsWorkLimit bounds ranked discovery's K·V·E work estimate on
+// /api/v1/paths, the k-best analogue of pathsHardLimit. Variable so tests
+// can lower it.
+var pathsWorkLimit = 1 << 26
+
+// pathsBudgetResponse renders a pathdisc budget overflow as the structured
+// budget body — same shape as the depend budget errors; the
+// requester→provider pair plays the atomic-service role. Kind distinguishes
+// the enumeration hard limit ("paths") from the ranked work envelope
+// ("kbest"); Need falls back to Limit+1 for enumeration errors, which only
+// know the limit they hit.
+func pathsBudgetResponse(le *pathdisc.LimitError) *budgetErrorResponse {
+	need := le.Need
+	if need == 0 {
+		need = le.Limit + 1
+	}
+	return &budgetErrorResponse{
+		errorResponse: errorResponse{Error: le.Error()},
+		Kind:          le.BudgetKind(),
+		AtomicService: le.Src + "→" + le.Dst,
+		Need:          need,
+		Limit:         le.Limit,
+	}
+}
+
+// computePaths runs the discovery — full enumeration, or the budgeted
+// k-best kernel when req.K > 0 — on an acquired generator. diagram names
+// the object diagram the generator was built from (needed to join link
+// stereotypes onto ranked results). Shared by the POST route (model in the
+// body), the GET route (built-in case-study model) and the batch "paths"
+// op; budget overflows surface as *pathdisc.LimitError.
+func computePaths(gen *core.Generator, diagram string, req *pathsRequest) (*pathsResponse, error) {
+	metric, err := pathdisc.ParseCostMetric(req.Cost)
+	if err != nil {
+		return nil, err
+	}
+	c := gen.Compiled()
+	var (
+		paths []pathdisc.Path
+		stats pathdisc.Stats
+	)
+	if req.K > 0 {
+		paths, stats, err = c.KShortest(req.From, req.To,
+			pathdisc.Options{K: req.K, CostMetric: metric, MaxWork: pathsWorkLimit})
+	} else {
+		// The generator compiled the CSR kernel at acquire time; enumerate
+		// through it rather than the map-based walker.
+		paths, stats, err = c.AllPaths(req.From, req.To,
+			pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths, HardMaxPaths: pathsHardLimit})
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &pathsResponse{
+		PathCount:    stats.Paths,
+		EdgeVisits:   stats.EdgeVisits,
+		NodesVisited: stats.NodeVisits,
+		MaxStack:     stats.MaxStack,
+		Pruned:       stats.Pruned,
+		Truncated:    stats.Truncated,
+		PathStats:    explain.Statistics(paths),
+	}
+	for _, p := range paths {
+		resp.Paths = append(resp.Paths, p.String())
+	}
+	if req.K > 0 {
+		resp.CostMetric = metric.String()
+		var links []*uml.Link
+		if d, ok := gen.Model().Diagram(diagram); ok {
+			links = d.Links()
+		}
+		for _, p := range paths {
+			_, bottleneck, channels := explain.PathMetrics(links, p)
+			resp.Ranked = append(resp.Ranked, rankedPathJSON{
+				Path: p.String(),
+				Hops: p.Len(),
+				// PathCost folds in the kernel's summation order, so this
+				// is the exact ranking cost, not a re-derived approximation.
+				Cost:           c.PathCost(metric, p),
+				BottleneckMbps: bottleneck,
+				Channels:       channels,
+			})
+		}
+	}
+	return resp, nil
+}
+
+// servePaths maps computePaths onto the HTTP surface: budget overflows
+// become the structured 422, anything else a 400.
+func servePaths(w http.ResponseWriter, gen *core.Generator, diagram string, req *pathsRequest) {
+	resp, err := computePaths(gen, diagram, req)
+	if err != nil {
+		if le, ok := pathdisc.AsLimitError(err); ok {
+			writeJSON(w, http.StatusUnprocessableEntity, pathsBudgetResponse(le))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
 func (a *api) handlePaths(w http.ResponseWriter, r *http.Request) {
 	var req pathsRequest
@@ -335,39 +518,65 @@ func (a *api) handlePaths(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer a.generators.Release(gen)
-	// The generator compiled the CSR kernel at acquire time; enumerate
-	// through it rather than the map-based walker.
-	paths, stats, err := gen.Compiled().AllPaths(req.From, req.To,
-		pathdisc.Options{MaxDepth: req.MaxDepth, MaxPaths: req.MaxPaths, HardMaxPaths: pathsHardLimit})
+	servePaths(w, gen, req.Diagram, &req)
+}
+
+// caseStudyXMLOnce memoises the encoded case-study model: the model is
+// built from source, so the XML is a process constant.
+var caseStudyXMLOnce = sync.OnceValues(func() (string, error) {
+	m, err := casestudy.BuildModel()
 	if err != nil {
-		if le, ok := pathdisc.AsLimitError(err); ok {
-			// Same structured shape as the depend budget 422s; the
-			// requester→provider pair plays the atomic-service role here.
-			writeJSON(w, http.StatusUnprocessableEntity, budgetErrorResponse{
-				errorResponse: errorResponse{Error: le.Error()},
-				Kind:          "paths",
-				AtomicService: le.Src + "→" + le.Dst,
-				Need:          le.Limit + 1,
-				Limit:         le.Limit,
-			})
-			return
-		}
-		writeError(w, http.StatusBadRequest, "%v", err)
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := uml.Encode(&buf, m); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+})
+
+func caseStudyXML() (string, error) { return caseStudyXMLOnce() }
+
+// handlePathsGet serves path discovery over the built-in case-study model —
+// the server is stateless, so the GET form cannot carry a model and instead
+// answers against the paper's Figure 8 topology. Query parameters: from, to
+// (required), k, cost, maxDepth, maxPaths.
+func (a *api) handlePathsGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := pathsRequest{
+		From: q.Get("from"),
+		To:   q.Get("to"),
+		Cost: q.Get("cost"),
+	}
+	if req.From == "" || req.To == "" {
+		writeError(w, http.StatusBadRequest, "from and to are required")
 		return
 	}
-	resp := pathsResponse{
-		PathCount:    stats.Paths,
-		EdgeVisits:   stats.EdgeVisits,
-		NodesVisited: stats.NodeVisits,
-		MaxStack:     stats.MaxStack,
-		Pruned:       stats.Pruned,
-		Truncated:    stats.Truncated,
-		PathStats:    explain.Statistics(paths),
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{{"k", &req.K}, {"maxDepth", &req.MaxDepth}, {"maxPaths", &req.MaxPaths}} {
+		if s := q.Get(f.name); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "invalid %s: %v", f.name, err)
+				return
+			}
+			*f.dst = n
+		}
 	}
-	for _, p := range paths {
-		resp.Paths = append(resp.Paths, p.String())
+	xml, err := caseStudyXML()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building case study: %v", err)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	gen, err := a.generators.Acquire(r.Context(), xml, casestudy.DiagramName)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer a.generators.Release(gen)
+	servePaths(w, gen, casestudy.DiagramName, &req)
 }
 
 // generateRequest asks for a UPSIM.

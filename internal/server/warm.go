@@ -41,6 +41,17 @@ import (
 var mWarmHits = obs.NewCounter("upsim_server_warm_hits_total",
 	"Analysis responses served by the warm byte-level lane (no JSON decode, no generation).", "route")
 
+// Warm-lane cache sizing gauges: the configured capacity and the current
+// entry count of the dedicated warm response cache (Config.WarmSize /
+// upsimd -warm-size). The lane used to share the generation cache; the
+// gauges make the split observable on GET /metrics.
+var (
+	mWarmCapacity = obs.NewGauge("upsim_server_warm_capacity",
+		"Configured capacity (entries) of the dedicated warm-lane response cache.")
+	mWarmEntries = obs.NewGauge("upsim_server_warm_entries",
+		"Entries currently held by the dedicated warm-lane response cache.")
+)
+
 // jsonContentType is the shared Content-Type value written by the warm lane
 // (direct map assignment; Header().Set would allocate the slice per hit).
 var jsonContentType = []string{"application/json"}
@@ -51,6 +62,15 @@ const (
 	warmPrefixAvailability = "warm|avail|"
 	warmPrefixQoS          = "warm|qos|"
 	warmPrefixExplain      = "warm|explain|"
+	// warmPrefixBatch keys whole POST /api/v1/batch bodies: a repeated
+	// identical batch replays the memoised response without decoding or
+	// fanning out. (The memoised body embeds the cache-stats snapshot taken
+	// when it was computed; a warm replay intentionally repeats it.)
+	warmPrefixBatch = "warm|batch|"
+	// warmPrefixItem keys individual batch items by their canonical JSON
+	// encoding, so a repeated item skips generation and analysis even when
+	// the surrounding batch differs (see runBatchItem).
+	warmPrefixItem = "warm|item|"
 )
 
 // warmReq is the pooled per-request state of the warm lane: the body buffer,
@@ -152,7 +172,7 @@ func (a *api) tryWarm(wr *warmReq, prefix string, w http.ResponseWriter, r *http
 		return false
 	}
 	wr.buildKey(prefix)
-	if v, ok := a.cache.GetBytes(wr.key); ok {
+	if v, ok := a.warm.GetBytes(wr.key); ok {
 		if resp, ok := v.(*encodedResponse); ok {
 			writeWarm(w, r, resp)
 			return true
@@ -167,6 +187,7 @@ func (a *api) tryWarm(wr *warmReq, prefix string, w http.ResponseWriter, r *http
 // (batch fan-out, direct RunBatch callers).
 func (a *api) storeWarm(r *http.Request, resp *encodedResponse) {
 	if wr, ok := r.Body.(*warmReq); ok && len(wr.key) > 0 {
-		a.cache.Add(string(wr.key), resp)
+		a.warm.Add(string(wr.key), resp)
+		mWarmEntries.With().Set(int64(a.warm.Len()))
 	}
 }

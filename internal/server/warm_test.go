@@ -36,7 +36,8 @@ func warmFixture(t *testing.T) (modelXML, mappingXML string) {
 	return mb.String(), pb.String()
 }
 
-// warmBody marshals one analysis request body for the given route.
+// warmBody marshals one analysis request body for the given route. For the
+// batch route the request is wrapped as a single-item batch.
 func warmBody(t *testing.T, route, modelXML, mappingXML string) []byte {
 	t.Helper()
 	req := map[string]any{
@@ -48,7 +49,12 @@ func warmBody(t *testing.T, route, modelXML, mappingXML string) []byte {
 	if route == "/api/v1/availability" {
 		req["mcSamples"] = 2000
 	}
-	b, err := json.Marshal(req)
+	var payload any = req
+	if route == "/api/v1/batch" {
+		req["op"] = OpQoS
+		payload = map[string]any{"items": []map[string]any{req}}
+	}
+	b, err := json.Marshal(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +92,7 @@ func (w *nullResponseWriter) Write(p []byte) (int, error) {
 func TestWarmLaneReplaysIdenticalBytes(t *testing.T) {
 	modelXML, mappingXML := warmFixture(t)
 	h := New()
-	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain"} {
+	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain", "/api/v1/batch"} {
 		t.Run(route, func(t *testing.T) {
 			body := warmBody(t, route, modelXML, mappingXML)
 			serve := func() *httptest.ResponseRecorder {
@@ -123,7 +129,7 @@ func TestWarmHitZeroAllocs(t *testing.T) {
 	}
 	modelXML, mappingXML := warmFixture(t)
 	h := New()
-	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain"} {
+	for _, route := range []string{"/api/v1/availability", "/api/v1/qos", "/api/v1/explain", "/api/v1/batch"} {
 		t.Run(route, func(t *testing.T) {
 			payload := warmBody(t, route, modelXML, mappingXML)
 			body := &replayableBody{}

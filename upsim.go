@@ -109,7 +109,31 @@ type (
 	PathStats = pathdisc.Stats
 	// Graph is the topology view used by path discovery.
 	Graph = topology.Graph
+	// CostMetric selects the edge-cost model for ranked path discovery
+	// (CompiledGraph.KShortest): hop count, or stereotype throughput.
+	CostMetric = pathdisc.CostMetric
+	// EdgeCostFunc resolves a topology edge ID to its throughput in Mbps for
+	// CompiledGraph.SetEdgeCosts; ok=false selects the hop-cost fallback.
+	EdgeCostFunc = pathdisc.EdgeCostFunc
+	// PathLimitError is the structured budget error returned when a
+	// discovery exceeds its enumeration hard limit (kind "paths") or the
+	// ranked work envelope (kind "kbest").
+	PathLimitError = pathdisc.LimitError
 )
+
+// Cost metrics for ranked path discovery (PathOptions.CostMetric).
+const (
+	// CostHops ranks paths by hop count (the zero value).
+	CostHops = pathdisc.CostHops
+	// CostThroughput ranks by summed 1/throughput of the traversed links,
+	// using the cost view installed by CompiledGraph.SetEdgeCosts (a
+	// Generator installs it from the model's Communication stereotypes).
+	CostThroughput = pathdisc.CostThroughput
+)
+
+// ParseCostMetric maps the wire names "hops" and "throughput" (or "") to a
+// CostMetric.
+func ParseCostMetric(s string) (CostMetric, error) { return pathdisc.ParseCostMetric(s) }
 
 // Caching types (see internal/cache).
 type (
